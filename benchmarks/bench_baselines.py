@@ -1,0 +1,25 @@
+"""Baseline benchmark: conventional branch prediction over the suite."""
+
+from conftest import run_once
+
+from repro.experiments import baselines
+
+
+def test_branch_prediction_baseline(runner, benchmark):
+    result = run_once(benchmark, baselines.run, runner)
+    print()
+    print(result.render())
+
+    reports = result.extra["reports"]
+    # The paper's premise holds where it matters: the regular numeric
+    # codes' loop-closing branches are nearly perfectly predictable
+    # even for a simple bimodal predictor.
+    for name in ("swim", "tomcatv", "su2cor", "wave5", "hydro2d"):
+        assert reports[name]["bimodal"].closing_accuracy > 0.93, name
+    # Short-trip nests (applu-class) pay the one-exit-per-execution
+    # misprediction, which is exactly the opportunity loop detection
+    # exploits: the LET predicts the *count*, not the branch.
+    assert reports["applu"]["bimodal"].closing_accuracy < 0.9
+    # Global history helps the irregular codes.
+    suite_row = result.row_for("SUITE")
+    assert suite_row[4] > suite_row[3]       # gshare > bimodal overall

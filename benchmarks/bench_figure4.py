@@ -1,0 +1,22 @@
+"""Regenerates Figure 4 (LET/LIT hit ratios vs table size)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(runner, benchmark):
+    result = run_once(benchmark, figure4.run, runner)
+    print()
+    print(result.render())
+
+    per_size = result.extra["per_size"]
+    # Shape: hit ratios grow with table size; at 16 entries both tables
+    # are comfortably above the paper's highlighted ~90% region; a
+    # 2-entry LET is visibly worse than a 16-entry one.
+    for kind in ("let", "lit"):
+        ratios = [per_size[s][kind] for s in (2, 4, 8, 16)]
+        assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert per_size[16]["let"] > 0.85
+    assert per_size[16]["lit"] > 0.85
+    assert per_size[2]["let"] < per_size[16]["let"]

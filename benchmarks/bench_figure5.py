@@ -1,0 +1,23 @@
+"""Regenerates Figure 5 (TPC with infinite thread units)."""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(runner, benchmark):
+    result = run_once(benchmark, figure5.run, runner)
+    print()
+    print(result.render())
+
+    # Shape: the ideal machine extracts far more TLP than 16 TUs ever
+    # see (order-of-magnitude on the regular codes), the prefix behaves
+    # like the full run, and regular numeric codes dominate branchy
+    # integer codes.
+    tpcs = {name: full for name, full, _reduced in result.rows}
+    assert tpcs["swim"] > 20
+    assert tpcs["tomcatv"] > 20
+    assert tpcs["swim"] > tpcs["go"]
+    assert tpcs["swim"] > tpcs["perl"]
+    for name, full, reduced in result.rows:
+        assert 0.2 < reduced / full < 5.0, name

@@ -1,0 +1,26 @@
+"""Regenerates Figure 6 (per-benchmark TPC under STR for 2-16 TUs)."""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(runner, benchmark):
+    result = run_once(benchmark, figure6.run, runner)
+    print()
+    print(result.render())
+
+    avg = result.row_for("AVG")
+    # Paper averages are 1.65 / 2.6 / 4 / 6.2: ours must grow the same
+    # way and land in the same bands.
+    assert 1.4 < avg[1] < 2.0       # 2 TUs
+    assert 2.2 < avg[2] < 3.6       # 4 TUs
+    assert 3.2 < avg[3] < 6.5       # 8 TUs
+    assert 4.5 < avg[4] < 9.5       # 16 TUs
+    assert avg[1] < avg[2] < avg[3] < avg[4]
+
+    # Regular numeric codes approach the machine width; branchy integer
+    # codes saturate early (the paper's tomcatv/wave5 vs go contrast).
+    assert result.row_for("swim")[2] > 3.5
+    assert result.row_for("go")[4] < result.row_for("swim")[4]
+    assert result.row_for("go")[4] < 8

@@ -1,0 +1,25 @@
+"""Regenerates Figure 7 (average TPC per speculation policy)."""
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(runner, benchmark):
+    result = run_once(benchmark, figure7.run, runner)
+    print()
+    print(result.render())
+
+    averages = result.extra["averages"]
+    for tus in (2, 4, 8):
+        # Paper shape: STR is the best policy (ties with IDLE are fine);
+        # STR(i) pays for squashing correct speculation, and STR(1) is
+        # the most aggressive squasher.
+        assert averages[("str", tus)] >= averages[("str(1)", tus)]
+        assert averages[("str", tus)] >= averages[("str(3)", tus)] - 0.05
+        assert abs(averages[("str", tus)]
+                   - averages[("idle", tus)]) < 0.25
+    # Every policy still scales with the number of TUs.
+    for policy in ("idle", "str", "str(1)", "str(2)", "str(3)"):
+        tpcs = [averages[(policy, tus)] for tus in (2, 4, 8, 16)]
+        assert all(a <= b + 1e-9 for a, b in zip(tpcs, tpcs[1:]))

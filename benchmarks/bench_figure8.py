@@ -1,0 +1,26 @@
+"""Regenerates Figure 8 (data-speculation statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(runner, benchmark):
+    result = run_once(benchmark, figure8.run, runner)
+    print()
+    print(result.render())
+
+    suite = result.extra["suite"]
+    # Paper shape: the most frequent path covers the majority of all
+    # iterations (~85% in the paper), live-in registers predict better
+    # than live-in memory, and the all-correct percentages order as
+    # all lr >= all lm >= all data.
+    assert suite.same_path > 0.6
+    assert suite.lr_pred > suite.lm_pred
+    assert suite.all_lr >= suite.all_lm >= suite.all_data - 1e-12
+    assert suite.lr_pred > 0.85
+    # Regular numeric codes have near-single-path loops.
+    per_bench = result.extra["per_bench"]
+    assert per_bench["swim"].same_path > 0.9
+    assert per_bench["tomcatv"].same_path > 0.9
+    assert per_bench["go"].same_path < per_bench["swim"].same_path

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the core components' throughput.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+quantifying each pipeline stage: interpretation, loop detection, table
+simulation, thread-speculation simulation and value-predictability
+analysis.
+"""
+
+import pytest
+
+from repro.core import LoopDetector, compute_loop_statistics
+from repro.core.dataspec import DataSpeculationAnalyzer
+from repro.core.speculation import simulate
+from repro.core.tables import TableHitRatioSimulator
+from repro.cpu import trace_control_flow
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def compress_workload():
+    workload = get("compress")
+    workload.program(1)          # compile outside the clock
+    return workload
+
+
+@pytest.fixture(scope="module")
+def compress_trace(compress_workload):
+    return compress_workload.cf_trace(scale=1)
+
+
+@pytest.fixture(scope="module")
+def compress_index(compress_trace):
+    return LoopDetector().run(compress_trace)
+
+
+def test_interpreter_throughput(compress_workload, benchmark):
+    program = compress_workload.program(1)
+    trace = benchmark(trace_control_flow, program, 2_000_000)
+    assert trace.halted
+    benchmark.extra_info["instructions"] = trace.total_instructions
+
+
+def test_detector_throughput(compress_trace, benchmark):
+    def detect():
+        return LoopDetector().run(compress_trace)
+    index = benchmark(detect)
+    assert len(index.executions) > 0
+    benchmark.extra_info["cf_records"] = len(compress_trace.records)
+
+
+def test_loop_statistics_throughput(compress_index, benchmark):
+    stats = benchmark(compute_loop_statistics, compress_index, "compress")
+    assert stats.executions > 0
+
+
+def test_table_simulator_throughput(compress_index, benchmark):
+    def run_tables():
+        return TableHitRatioSimulator(4, 4).replay(compress_index.events)
+    sim = benchmark(run_tables)
+    assert sim.lit_accesses > 0
+
+
+def test_speculation_engine_throughput(compress_index, benchmark):
+    result = benchmark(simulate, compress_index, 4, "str")
+    assert result.total_cycles > 0
+
+
+def test_dataspec_throughput(compress_workload, benchmark):
+    trace = compress_workload.full_trace(1, max_instructions=60_000)
+
+    def analyze():
+        return DataSpeculationAnalyzer().analyze(trace, "compress")
+    stats = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    assert stats.total_iterations > 0

@@ -1,0 +1,26 @@
+"""Regenerates Table 1 (loop statistics) and checks its paper shape."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(runner, benchmark):
+    result = run_once(benchmark, table1.run, runner)
+    print()
+    print(result.render())
+
+    stats = result.extra["stats"]
+    # Paper-shape assertions: swim tops iterations/execution, fpppp tops
+    # instructions/iteration with the fewest iterations, the deep
+    # nesters nest, and nothing overflows a 16-entry CLS.
+    swim = stats["swim"].iterations_per_execution
+    assert swim == max(s.iterations_per_execution for s in stats.values())
+    assert swim > 100
+    fpppp = stats["fpppp"].instructions_per_iteration
+    assert fpppp == max(s.instructions_per_iteration
+                        for s in stats.values())
+    assert stats["fpppp"].iterations_per_execution < 4.5
+    for name in ("applu", "go", "ijpeg"):
+        assert stats[name].max_nesting >= 5
+    assert all(s.max_nesting <= 16 for s in stats.values())

@@ -1,0 +1,32 @@
+"""Regenerates Table 2 (control-speculation statistics, STR(3), 4 TUs)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(runner, benchmark):
+    result = run_once(benchmark, table2.run, runner)
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    hit = {name: row[3] for name, row in rows.items()}
+    tpc = {name: row[5] for name, row in rows.items()}
+
+    # Paper shape: hit ratios are high for the regular codes (>95% for
+    # the compress/hydro2d/swim/wave5 class), lowest for the irregular
+    # searchers; TPC spans roughly 1-4 with the numeric codes on top.
+    for name in ("compress", "swim", "wave5", "su2cor"):
+        assert hit[name] > 90, name
+    assert min(hit.values()) > 40
+    assert max(tpc.values()) <= 4.0 + 1e-9
+    assert min(tpc.values()) >= 1.0
+    assert tpc["swim"] > tpc["gcc"]
+    # Verification distance tracks iteration-body size: fpppp's huge
+    # iterations verify thousands of instructions after speculation
+    # (paper: ~191k on the real binary), while li's tiny list-walking
+    # loops verify within a few hundred.
+    verif = {name: row[4] for name, row in rows.items()}
+    assert verif["fpppp"] > 1000
+    assert verif["li"] < verif["fpppp"]

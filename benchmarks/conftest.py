@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The suite runner (workload tracing + loop detection) is built once per
+session; each benchmark then measures the analysis it owns and prints
+the regenerated table/figure so the output can be compared with the
+paper (see EXPERIMENTS.md for the side-by-side record).
+"""
+
+import pytest
+
+from repro.experiments import SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    suite_runner = SuiteRunner(scale=1)
+    # Pre-trace everything so per-benchmark timings measure analysis,
+    # not interpretation.
+    suite_runner.indexes()
+    return suite_runner
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

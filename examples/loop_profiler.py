@@ -1,0 +1,68 @@
+"""Loop profiler: per-loop behaviour of a workload.
+
+Uses the detector's loop index to print, for any suite workload, its
+hottest loops: executions, iterations per execution, body size and
+nesting -- the per-loop view behind the paper's Table 1 aggregates.
+
+Run:  python examples/loop_profiler.py [workload] [scale]
+      python examples/loop_profiler.py compress
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.core import compute_loop_statistics
+from repro.util.fmt import format_table
+from repro.workloads import get, names
+
+
+def profile(workload_name, scale=1):
+    workload = get(workload_name)
+    index = workload.loop_index(scale=scale)
+
+    per_loop = defaultdict(lambda: {"executions": 0, "iterations": 0,
+                                    "instructions": 0, "depth_max": 0})
+    for rec in index.executions.values():
+        entry = per_loop[rec.loop]
+        entry["executions"] += 1
+        entry["iterations"] += rec.iterations or 1
+        entry["instructions"] += sum(rec.iteration_lengths())
+        entry["depth_max"] = max(entry["depth_max"], rec.depth)
+
+    rows = []
+    for loop, entry in sorted(per_loop.items(),
+                              key=lambda kv: -kv[1]["instructions"]):
+        iters = entry["iterations"]
+        rows.append((
+            "pc=%d" % loop,
+            entry["executions"],
+            round(iters / entry["executions"], 2),
+            round(entry["instructions"] / iters, 1) if iters else 0.0,
+            entry["depth_max"],
+        ))
+
+    stats = compute_loop_statistics(index, workload_name)
+    print(format_table(
+        ("loop", "#exec", "#iter/exec", "#instr/iter", "max depth"),
+        rows[:15],
+        title="%s: hottest loops (of %d static loops, %d instructions)"
+              % (workload_name, stats.static_loops,
+                 stats.total_instructions)))
+    print()
+    print("suite-level row (Table 1 format):")
+    print(format_table(stats.ROW_HEADERS, [stats.as_row()]))
+
+
+def main(argv):
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("workloads: %s" % ", ".join(names()))
+        return 0
+    workload = argv[0] if argv else "compress"
+    scale = int(argv[1]) if len(argv) > 1 else 1
+    profile(workload, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

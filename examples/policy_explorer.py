@@ -1,0 +1,56 @@
+"""Policy explorer: TPC and hit-ratio trade-offs per allocation policy.
+
+Sweeps thread-unit counts and speculation policies (IDLE, STR, STR(i))
+for one workload and prints the trade-off matrix -- the per-program view
+behind the paper's Figures 6 and 7.
+
+Run:  python examples/policy_explorer.py [workload] [scale]
+      python examples/policy_explorer.py tomcatv
+"""
+
+import sys
+
+from repro.core.speculation import simulate, simulate_infinite
+from repro.util.fmt import format_table
+from repro.workloads import get, names
+
+POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
+TU_COUNTS = (2, 4, 8, 16)
+
+
+def explore(workload_name, scale=1):
+    index = get(workload_name).loop_index(scale=scale)
+
+    rows = []
+    for policy in POLICIES:
+        row = [policy.upper()]
+        for tus in TU_COUNTS:
+            result = simulate(index, num_tus=tus, policy=policy)
+            row.append("%.2f/%2.0f%%" % (result.tpc,
+                                         100 * result.hit_ratio))
+        rows.append(tuple(row))
+    print(format_table(
+        ("policy",) + tuple("%d TUs (tpc/hit)" % t for t in TU_COUNTS),
+        rows,
+        title="%s: TPC and hit ratio per policy" % workload_name))
+
+    ideal = simulate_infinite(index)
+    print()
+    print("idealized (infinite TUs, oracle iteration counts): "
+          "TPC %.1f over %d cycles for %d instructions"
+          % (ideal.tpc, ideal.total_cycles, ideal.total_instructions))
+
+
+def main(argv):
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("workloads: %s" % ", ".join(names()))
+        return 0
+    workload = argv[0] if argv else "tomcatv"
+    scale = int(argv[1]) if len(argv) > 1 else 1
+    explore(workload, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+"""repro: reproduction of Tubella & Gonzalez, "Control Speculation in
+Multithreaded Processors through Dynamic Loop Detection" (HPCA 1998).
+
+The package layers:
+
+* :mod:`repro.isa`, :mod:`repro.cpu`, :mod:`repro.trace` -- the execution
+  substrate standing in for Alpha/ATOM traces.
+* :mod:`repro.lang` -- a structured mini-language compiler used to author
+  the synthetic SPEC95-analog workloads in :mod:`repro.workloads`.
+* :mod:`repro.core` -- the paper's contribution: dynamic loop detection
+  (CLS), loop history tables (LET/LIT), thread control speculation with
+  the IDLE/STR/STR(i) policies, and the data-speculation study.
+* :mod:`repro.experiments` -- one module per table/figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,55 @@
+"""The paper's contribution: dynamic loop detection and thread-control
+speculation (Tubella & Gonzalez, HPCA 1998)."""
+
+from repro.core.cls import CLSEntry, CurrentLoopStack, DEFAULT_CAPACITY
+from repro.core.detector import LoopDetector, LoopExecutionRecord, LoopIndex
+from repro.core.events import (
+    EndReason,
+    ExecutionEnd,
+    ExecutionStart,
+    IterationStart,
+    LoopEvent,
+    SingleIteration,
+)
+from repro.core.loopstats import LoopStatistics, compute_loop_statistics
+from repro.core.predictors import (
+    IterationCountPredictor,
+    LastPlusStride,
+    StridePredictor,
+    TwoBitCounter,
+)
+from repro.core.tables import (
+    LoopHistoryTable,
+    NestingTracker,
+    POLICY_LRU,
+    POLICY_NESTING_AWARE,
+    TableEntry,
+    TableHitRatioSimulator,
+)
+
+__all__ = [
+    "CLSEntry",
+    "CurrentLoopStack",
+    "DEFAULT_CAPACITY",
+    "LoopDetector",
+    "LoopExecutionRecord",
+    "LoopIndex",
+    "EndReason",
+    "ExecutionEnd",
+    "ExecutionStart",
+    "IterationStart",
+    "LoopEvent",
+    "SingleIteration",
+    "LoopStatistics",
+    "compute_loop_statistics",
+    "IterationCountPredictor",
+    "LastPlusStride",
+    "StridePredictor",
+    "TwoBitCounter",
+    "LoopHistoryTable",
+    "NestingTracker",
+    "POLICY_LRU",
+    "POLICY_NESTING_AWARE",
+    "TableEntry",
+    "TableHitRatioSimulator",
+]

@@ -1,0 +1,69 @@
+"""Live-in collection per loop iteration.
+
+A live-in register is one read before it is written within the
+iteration; a live-in memory location is one loaded before it is stored.
+Live-in memory is keyed by the *static load pc* (what a LIT would use to
+associate history across iterations), remembering both the address and
+the value so that each can be stride-predicted.
+"""
+
+from repro.core.dataspec.paths import PathSignature
+
+
+class IterationObservation:
+    """Finalized view of one loop iteration's path and live-ins."""
+
+    __slots__ = ("loop", "exec_id", "iteration", "path", "live_regs",
+                 "live_mem")
+
+    def __init__(self, loop, exec_id, iteration, path, live_regs, live_mem):
+        self.loop = loop
+        self.exec_id = exec_id
+        self.iteration = iteration
+        self.path = path                # (hash, length)
+        self.live_regs = live_regs      # {reg: value at first read}
+        self.live_mem = live_mem        # {load_pc: (addr, value)}
+
+    def __repr__(self):
+        return ("IterationObservation(loop=%d, iter=%d, regs=%d, mem=%d)"
+                % (self.loop, self.iteration, len(self.live_regs),
+                   len(self.live_mem)))
+
+
+class IterationTracker:
+    """Accumulates one in-flight iteration's effects."""
+
+    __slots__ = ("loop", "exec_id", "iteration", "_sig", "_regs_written",
+                 "live_regs", "_mem_written", "live_mem")
+
+    def __init__(self, loop, exec_id, iteration):
+        self.loop = loop
+        self.exec_id = exec_id
+        self.iteration = iteration
+        self._sig = PathSignature()
+        self._regs_written = set()
+        self.live_regs = {}
+        self._mem_written = set()
+        self.live_mem = {}
+
+    def observe(self, record):
+        """Fold one executed instruction into the iteration state."""
+        for reg, value in record.reg_reads:
+            if reg and reg not in self._regs_written \
+                    and reg not in self.live_regs:
+                self.live_regs[reg] = value
+        for reg, _value in record.reg_writes:
+            self._regs_written.add(reg)
+        for addr, value in record.mem_reads:
+            if addr not in self._mem_written \
+                    and record.pc not in self.live_mem:
+                self.live_mem[record.pc] = (addr, value)
+        for addr, _value in record.mem_writes:
+            self._mem_written.add(addr)
+        if record.kind:
+            self._sig.update(record.pc, record.taken)
+
+    def finalize(self):
+        return IterationObservation(self.loop, self.exec_id,
+                                    self.iteration, self._sig.digest(),
+                                    self.live_regs, self.live_mem)

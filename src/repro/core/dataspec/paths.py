@@ -1,0 +1,71 @@
+"""Per-loop control-flow path profiling (paper section 4).
+
+A *path* is the control-flow signature of one loop iteration: the
+sequence of executed control transfers (pc, direction).  The paper
+reports that each loop's most frequent path covers ~85% of all
+iterations, which underpins live-in value speculation: same-path
+iterations see the same live-in sets.
+"""
+
+_HASH_MASK = (1 << 61) - 1
+
+
+class PathSignature:
+    """Incrementally hashes an iteration's control-flow path."""
+
+    __slots__ = ("value", "length")
+
+    def __init__(self):
+        self.value = 0x345678
+        self.length = 0
+
+    def update(self, pc, taken):
+        token = pc * 2 + (1 if taken else 0)
+        self.value = ((self.value * 1000003) ^ token) & _HASH_MASK
+        self.length += 1
+
+    def digest(self):
+        return (self.value, self.length)
+
+
+class PathProfile:
+    """Counts path signatures per loop."""
+
+    def __init__(self):
+        self.counts = {}          # loop -> {signature: count}
+
+    def record(self, loop, signature):
+        per_loop = self.counts.setdefault(loop, {})
+        per_loop[signature] = per_loop.get(signature, 0) + 1
+
+    def most_frequent(self, loop):
+        per_loop = self.counts.get(loop)
+        if not per_loop:
+            return None
+        return max(per_loop.items(), key=lambda kv: kv[1])[0]
+
+    def iterations(self, loop):
+        per_loop = self.counts.get(loop, {})
+        return sum(per_loop.values())
+
+    def coverage(self, loop):
+        """Fraction of the loop's iterations on its most frequent path."""
+        per_loop = self.counts.get(loop)
+        if not per_loop:
+            return 0.0
+        return max(per_loop.values()) / sum(per_loop.values())
+
+    def total_iterations(self):
+        return sum(self.iterations(loop) for loop in self.counts)
+
+    def total_most_frequent(self):
+        return sum(max(per_loop.values())
+                   for per_loop in self.counts.values() if per_loop)
+
+    def overall_coverage(self):
+        """Share of *all* iterations covered by their loop's most
+        frequent path (the paper's ~85% statistic)."""
+        total = self.total_iterations()
+        if not total:
+            return 0.0
+        return self.total_most_frequent() / total

@@ -1,0 +1,162 @@
+"""Dynamic loop detection over control-flow traces.
+
+:class:`LoopDetector` replays a :class:`~repro.trace.stream.CFTrace`
+through the :class:`~repro.core.cls.CurrentLoopStack` and produces:
+
+* the totally ordered list of loop events (the single source of loop
+  truth for every experiment), and
+* a :class:`LoopIndex`: per-execution records with iteration boundary
+  sequence numbers, which the thread-speculation engine uses as its
+  oracle for what each speculative thread would execute.
+"""
+
+from repro.core.cls import CurrentLoopStack, DEFAULT_CAPACITY
+from repro.core.events import (
+    ExecutionEnd,
+    ExecutionStart,
+    IterationStart,
+    SingleIteration,
+)
+
+
+class LoopExecutionRecord:
+    """One detected loop execution.
+
+    ``iter_seqs[k]`` is the sequence number at which iteration ``k + 2``
+    began (detection starts at the second iteration); ``end_seq`` is the
+    terminating instruction.  A single-iteration execution has no
+    ``iter_seqs`` and ``start_seq == end_seq``.
+    """
+
+    __slots__ = ("exec_id", "loop", "start_seq", "iter_seqs", "end_seq",
+                 "iterations", "reason", "depth")
+
+    def __init__(self, exec_id, loop, start_seq, depth):
+        self.exec_id = exec_id
+        self.loop = loop
+        self.start_seq = start_seq
+        self.iter_seqs = []
+        self.end_seq = None
+        self.iterations = None
+        self.reason = None
+        self.depth = depth
+
+    @property
+    def detected_iterations(self):
+        """Iterations observable by hardware (excludes the undetected
+        first iteration of multi-iteration executions)."""
+        return len(self.iter_seqs)
+
+    def iteration_lengths(self):
+        """Instruction counts of fully delimited iterations."""
+        bounds = list(self.iter_seqs)
+        if self.end_seq is not None:
+            bounds.append(self.end_seq)
+        return [b - a for a, b in zip(bounds, bounds[1:])]
+
+    def __repr__(self):
+        return ("LoopExecutionRecord(exec=%d, loop=%d, iters=%r, "
+                "reason=%r)" % (self.exec_id, self.loop, self.iterations,
+                                self.reason))
+
+
+class LoopIndex:
+    """All loop executions of a trace, ordered by start sequence."""
+
+    def __init__(self, executions, events, total_instructions,
+                 cls_capacity):
+        self.executions = executions          # exec_id -> record
+        self.events = events                  # ordered LoopEvent list
+        self.total_instructions = total_instructions
+        self.cls_capacity = cls_capacity
+
+    def execution(self, exec_id):
+        return self.executions[exec_id]
+
+    def loops(self):
+        """Set of distinct loop identifiers (target addresses)."""
+        return {rec.loop for rec in self.executions.values()}
+
+    def multi_iteration_executions(self):
+        return [rec for rec in self.executions.values() if rec.iter_seqs]
+
+    def __len__(self):
+        return len(self.executions)
+
+
+class LoopDetector:
+    """Replays a control-flow trace through the CLS."""
+
+    def __init__(self, cls_capacity=DEFAULT_CAPACITY):
+        self.cls = CurrentLoopStack(capacity=cls_capacity)
+        self.events = []
+        self.executions = {}
+        self._listeners = []
+
+    def add_listener(self, listener):
+        """Register a listener with optional ``on_event(event)`` hook."""
+        self._listeners.append(listener)
+        return listener
+
+    # -- streaming interface ----------------------------------------------
+
+    def feed(self, record):
+        """Process one CF record; returns the events it caused."""
+        events = self.cls.process(record.seq, record.pc, record.kind,
+                                  record.taken, record.target)
+        if events:
+            self._absorb(events)
+        return events
+
+    def finish(self, total_instructions):
+        """Flush the CLS at end of trace; returns the flush events."""
+        events = self.cls.flush(total_instructions)
+        if events:
+            self._absorb(events)
+        return events
+
+    def run(self, cf_trace):
+        """Convenience: feed an entire trace and return a LoopIndex."""
+        feed = self.feed
+        for record in cf_trace.records:
+            feed(record)
+        self.finish(cf_trace.total_instructions)
+        return self.index(cf_trace.total_instructions)
+
+    def index(self, total_instructions):
+        return LoopIndex(self.executions, self.events, total_instructions,
+                         self.cls.capacity)
+
+    # -- event bookkeeping ---------------------------------------------------
+
+    def _absorb(self, events):
+        executions = self.executions
+        for event in events:
+            if type(event) is IterationStart:
+                rec = executions.get(event.exec_id)
+                if rec is not None:
+                    rec.iter_seqs.append(event.seq)
+                else:
+                    # First IterationStart arrives with ExecutionStart.
+                    pass
+            elif type(event) is ExecutionStart:
+                executions[event.exec_id] = LoopExecutionRecord(
+                    event.exec_id, event.loop, event.seq, event.depth)
+            elif type(event) is ExecutionEnd:
+                rec = executions.get(event.exec_id)
+                if rec is not None:
+                    rec.end_seq = event.seq
+                    rec.iterations = event.iterations
+                    rec.reason = event.reason
+            elif type(event) is SingleIteration:
+                rec = LoopExecutionRecord(event.exec_id, event.loop,
+                                          event.seq, event.depth)
+                rec.end_seq = event.seq
+                rec.iterations = 1
+                executions[event.exec_id] = rec
+        self.events.extend(events)
+        for listener in self._listeners:
+            on_event = getattr(listener, "on_event", None)
+            if on_event is not None:
+                for event in events:
+                    on_event(event)

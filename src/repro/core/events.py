@@ -1,0 +1,106 @@
+"""Loop events emitted by the dynamic loop detector.
+
+Event sequence numbers refer to the dynamic instruction index of the
+control transfer that *caused* the event.  By the paper's definitions:
+
+* an execution is *detected* when the first backward branch/jump to its
+  target commits -- i.e. when the second iteration begins -- so
+  :class:`ExecutionStart` and the first :class:`IterationStart` (with
+  ``iteration == 2``) share one sequence number;
+* every later :class:`IterationStart` sits on the taken loop-closing
+  branch ending the previous iteration;
+* :class:`ExecutionEnd` sits on the terminating instruction (not-taken
+  closing branch, exiting branch/jump, return, ...).
+"""
+
+import enum
+
+
+class EndReason(enum.Enum):
+    """Why a loop execution terminated (or was abandoned)."""
+
+    NOT_TAKEN = "not-taken-closing-branch"   # paper rule (i)
+    EXIT = "exit-branch"                     # paper rule (ii)
+    RETURN = "return"                        # paper rule (iii)
+    OUTER = "outer-loop-event"               # popped when an outer loop
+    #                                          iterated or terminated
+    OVERFLOW = "cls-overflow"                # deepest entry dropped
+    FLUSH = "end-of-trace"                   # trace exhausted
+
+
+class LoopEvent:
+    """Base class; ``loop`` is the target address T identifying the loop."""
+
+    __slots__ = ("seq", "loop", "exec_id")
+
+    def __init__(self, seq, loop, exec_id):
+        self.seq = seq
+        self.loop = loop
+        self.exec_id = exec_id
+
+    def _fields(self):
+        return "seq=%d loop=%d exec=%d" % (self.seq, self.loop,
+                                           self.exec_id)
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self._fields())
+
+
+class ExecutionStart(LoopEvent):
+    """A new loop execution was detected (second iteration beginning).
+
+    ``depth`` is the 1-based CLS nesting depth of the new entry.
+    """
+
+    __slots__ = ("depth",)
+
+    def __init__(self, seq, loop, exec_id, depth):
+        super().__init__(seq, loop, exec_id)
+        self.depth = depth
+
+    def _fields(self):
+        return super()._fields() + " depth=%d" % self.depth
+
+
+class IterationStart(LoopEvent):
+    """Iteration ``iteration`` (2-based for the first detected one) of an
+    execution begins; the previous iteration just ended."""
+
+    __slots__ = ("iteration",)
+
+    def __init__(self, seq, loop, exec_id, iteration):
+        super().__init__(seq, loop, exec_id)
+        self.iteration = iteration
+
+    def _fields(self):
+        return super()._fields() + " iter=%d" % self.iteration
+
+
+class ExecutionEnd(LoopEvent):
+    """A loop execution terminated after ``iterations`` iterations."""
+
+    __slots__ = ("iterations", "reason")
+
+    def __init__(self, seq, loop, exec_id, iterations, reason):
+        super().__init__(seq, loop, exec_id)
+        self.iterations = iterations
+        self.reason = reason
+
+    def _fields(self):
+        return super()._fields() + " iters=%d reason=%s" % (
+            self.iterations, self.reason.value)
+
+
+class SingleIteration(LoopEvent):
+    """A not-taken backward branch to a loop not in the CLS: a complete
+    one-iteration execution (detected only as it ends).  ``depth`` is the
+    nesting depth it would have had (current CLS depth + 1)."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self, seq, loop, exec_id, depth):
+        super().__init__(seq, loop, exec_id)
+        self.depth = depth
+
+    def _fields(self):
+        return super()._fields() + " depth=%d" % self.depth

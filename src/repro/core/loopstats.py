@@ -1,0 +1,97 @@
+"""Loop statistics in the shape of the paper's Table 1.
+
+Per benchmark: dynamic instruction count, static loop count, average
+iterations per execution, average instructions per iteration, and the
+average/maximum nesting level.
+
+Modelling note (see DESIGN.md): the first iteration of an execution is
+undetected until it finishes, so per-iteration instruction counts cover
+the *detected, fully delimited* iterations -- iterations 2..n of every
+multi-iteration execution.  Iteration and execution *counts* include the
+first iterations (they are known retrospectively) and single-iteration
+executions.
+"""
+
+
+class LoopStatistics:
+    """Aggregated Table-1 row for one workload."""
+
+    __slots__ = ("name", "total_instructions", "static_loops", "executions",
+                 "iterations", "measured_iterations",
+                 "measured_iteration_instructions", "nesting_sum",
+                 "max_nesting", "single_iteration_executions",
+                 "overflow_drops")
+
+    def __init__(self, name="workload"):
+        self.name = name
+        self.total_instructions = 0
+        self.static_loops = 0
+        self.executions = 0
+        self.iterations = 0
+        self.measured_iterations = 0
+        self.measured_iteration_instructions = 0
+        self.nesting_sum = 0
+        self.max_nesting = 0
+        self.single_iteration_executions = 0
+        self.overflow_drops = 0
+
+    @property
+    def iterations_per_execution(self):
+        if not self.executions:
+            return 0.0
+        return self.iterations / self.executions
+
+    @property
+    def instructions_per_iteration(self):
+        if not self.measured_iterations:
+            return 0.0
+        return (self.measured_iteration_instructions
+                / self.measured_iterations)
+
+    @property
+    def average_nesting(self):
+        if not self.executions:
+            return 0.0
+        return self.nesting_sum / self.executions
+
+    def as_row(self):
+        """Row in the column order of the paper's Table 1."""
+        return (self.name, self.total_instructions, self.static_loops,
+                round(self.iterations_per_execution, 2),
+                round(self.instructions_per_iteration, 2),
+                round(self.average_nesting, 2), self.max_nesting)
+
+    ROW_HEADERS = ("program", "#instr", "#loops", "#iter/exec",
+                   "#instr/iter", "avg. nl", "max. nl")
+
+    def __repr__(self):
+        return ("LoopStatistics(%s: loops=%d, iter/exec=%.2f, "
+                "instr/iter=%.2f, nl=%.2f/%d)"
+                % (self.name, self.static_loops,
+                   self.iterations_per_execution,
+                   self.instructions_per_iteration,
+                   self.average_nesting, self.max_nesting))
+
+
+def compute_loop_statistics(index, name="workload"):
+    """Aggregate a :class:`~repro.core.detector.LoopIndex` into a
+    :class:`LoopStatistics`."""
+    stats = LoopStatistics(name)
+    stats.total_instructions = index.total_instructions
+    loops = set()
+    for rec in index.executions.values():
+        loops.add(rec.loop)
+        stats.executions += 1
+        iterations = rec.iterations if rec.iterations is not None else \
+            rec.detected_iterations + 1
+        stats.iterations += iterations
+        if iterations == 1:
+            stats.single_iteration_executions += 1
+        lengths = rec.iteration_lengths()
+        stats.measured_iterations += len(lengths)
+        stats.measured_iteration_instructions += sum(lengths)
+        stats.nesting_sum += rec.depth
+        if rec.depth > stats.max_nesting:
+            stats.max_nesting = rec.depth
+    stats.static_loops = len(loops)
+    return stats

@@ -1,0 +1,39 @@
+"""Thread control speculation: policies, event-driven engine, metrics."""
+
+from repro.core.speculation.disable import (
+    LoopOutcomeStats,
+    SpeculationDisableTable,
+)
+from repro.core.speculation.engine import (
+    SpecThread,
+    SpeculationEngine,
+    simulate,
+    simulate_infinite,
+)
+from repro.core.speculation.metrics import SpeculationResult
+from repro.core.speculation.policies import (
+    IdlePolicy,
+    OracleAllPolicy,
+    Policy,
+    SpawnContext,
+    StrIPolicy,
+    StrPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "LoopOutcomeStats",
+    "SpeculationDisableTable",
+    "SpecThread",
+    "SpeculationEngine",
+    "simulate",
+    "simulate_infinite",
+    "SpeculationResult",
+    "IdlePolicy",
+    "OracleAllPolicy",
+    "Policy",
+    "SpawnContext",
+    "StrIPolicy",
+    "StrPolicy",
+    "make_policy",
+]

@@ -1,0 +1,302 @@
+"""Event-driven simulation of thread control speculation (section 3).
+
+Timing model (see DESIGN.md): every thread unit retires one instruction
+per cycle; threads are contiguous regions of the dynamic instruction
+stream.  Between loop events every active TU advances at the same rate,
+so the simulation walks the detector's event list and advances time by
+the sequential distance the non-speculative thread covers -- an
+O(#events) algorithm that makes 16-TU and unlimited-TU runs equally
+cheap.
+
+Mechanics per the paper:
+
+* **Speculation** happens whenever a loop iteration starts in the
+  non-speculative thread; the policy allocates idle TUs to further
+  consecutive iterations of that loop.
+* **Verification** happens when the non-speculative thread starts a loop
+  iteration (the first speculated thread of that loop is promoted and
+  the old non-speculative TU freed) or finishes a loop execution (all
+  remaining speculated iterations of that loop are squashed).
+* **Promotion is instantaneous**: the promoted thread's already-executed
+  instructions move the non-speculative position forward; loop events
+  inside the skipped range are applied for bookkeeping and verification
+  but cannot spawn threads into the past.
+"""
+
+from repro.core.events import (
+    ExecutionEnd,
+    ExecutionStart,
+    IterationStart,
+    SingleIteration,
+)
+from repro.core.predictors import IterationCountPredictor
+from repro.core.speculation.metrics import SpeculationResult
+from repro.core.speculation.policies import (
+    OracleAllPolicy,
+    SpawnContext,
+    make_policy,
+)
+from repro.core.tables import LoopHistoryTable
+
+
+class SpecThread:
+    """One speculative thread: a (possibly nonexistent) future iteration.
+
+    ``start_seq is None`` marks a doomed thread speculating an iteration
+    beyond the execution's actual count; it occupies a TU until the
+    execution-end squash.  ``end_seq is None`` on an existing iteration
+    marks the execution's last iteration, whose thread runs on into
+    post-loop code until confirmed.
+    """
+
+    __slots__ = ("loop", "exec_id", "iteration", "start_seq", "end_seq",
+                 "spawn_time", "spawn_seq")
+
+    def __init__(self, loop, exec_id, iteration, start_seq, end_seq,
+                 spawn_time, spawn_seq):
+        self.loop = loop
+        self.exec_id = exec_id
+        self.iteration = iteration
+        self.start_seq = start_seq
+        self.end_seq = end_seq
+        self.spawn_time = spawn_time
+        self.spawn_seq = spawn_seq
+
+    @property
+    def exists(self):
+        return self.start_seq is not None
+
+    def __repr__(self):
+        return ("SpecThread(loop=%d, exec=%d, iter=%d, exists=%s)"
+                % (self.loop, self.exec_id, self.iteration, self.exists))
+
+
+class SpeculationEngine:
+    """Simulates a multithreaded processor's thread control speculation.
+
+    ``num_tus=None`` models unlimited contexts and is only valid with
+    the oracle policy (Figure 5's limit study).
+    """
+
+    def __init__(self, num_tus=4, policy="str", let_capacity=None,
+                 count_waiting=True, disable_table=None):
+        self.policy = make_policy(policy)
+        if num_tus is None:
+            if self.policy.requires_finite_tus:
+                raise ValueError(
+                    "policy %s requires a finite number of TUs"
+                    % self.policy.name)
+        elif num_tus < 1:
+            raise ValueError("num_tus must be >= 1 or None")
+        self.num_tus = num_tus
+        self.let_capacity = let_capacity
+        self.count_waiting = count_waiting
+        self.disable_table = disable_table
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, index, name="workload"):
+        """Simulate over a :class:`~repro.core.detector.LoopIndex`."""
+        self._index = index
+        self._result = SpeculationResult(
+            name, self.num_tus if self.num_tus is not None else "inf",
+            self.policy.name)
+        self._result.total_instructions = index.total_instructions
+        self._now = 0
+        self._pos = 0
+        self._threads = {}          # exec_id -> list of SpecThread (FIFO)
+        self._spec_count = 0
+        self._let = LoopHistoryTable(self.let_capacity)
+        self._stack = []            # (exec_id, loop), outermost first
+
+        for event in index.events:
+            if event.seq > self._pos:
+                self._now += event.seq - self._pos
+                self._pos = event.seq
+            etype = type(event)
+            if etype is IterationStart:
+                self._on_iteration(event)
+            elif etype is ExecutionStart:
+                self._on_execution_start(event)
+            elif etype is ExecutionEnd:
+                self._on_execution_end(event)
+            elif etype is SingleIteration:
+                self._let_update(event.loop, 1)
+
+        if index.total_instructions > self._pos:
+            self._now += index.total_instructions - self._pos
+            self._pos = index.total_instructions
+        self._result.total_cycles = self._now
+        self._result.unresolved_at_end = self._spec_count
+        result = self._result
+        if not self.count_waiting:
+            result.credit_waiting = result.credit_executing
+        return result
+
+    # -- event handlers -------------------------------------------------------
+
+    def _on_iteration(self, event):
+        exec_id = event.exec_id
+        threads = self._threads.get(exec_id)
+        if threads and threads[0].iteration == event.iteration:
+            self._promote(threads.pop(0), event)
+            if not threads:
+                del self._threads[exec_id]
+        self._spawn(event)
+
+    def _on_execution_start(self, event):
+        self._stack.append((event.exec_id, event.loop))
+        entry = self._let.insert(event.loop)
+        if entry is not None and entry.payload is None:
+            entry.payload = IterationCountPredictor()
+        limit = self.policy.nesting_limit
+        if limit is not None:
+            self._apply_nesting_squash(limit, event.seq)
+
+    def _on_execution_end(self, event):
+        threads = self._threads.pop(event.exec_id, None)
+        if threads:
+            result = self._result
+            for thread in threads:
+                result.squashed_misspec += 1
+                result.resolved += 1
+                result.instr_to_verif_total += event.seq - thread.spawn_seq
+                if self.disable_table is not None:
+                    self.disable_table.note(thread.loop, correct=False)
+            self._spec_count -= len(threads)
+        for idx in range(len(self._stack) - 1, -1, -1):
+            if self._stack[idx][0] == event.exec_id:
+                del self._stack[idx]
+                break
+        self._let_update(event.loop, event.iterations)
+
+    # -- speculation mechanics -----------------------------------------------
+
+    def _promote(self, thread, event):
+        """The speculated iteration is confirmed: its TU becomes the new
+        non-speculative thread at wherever it has executed to."""
+        self._spec_count -= 1
+        elapsed = self._now - thread.spawn_time
+        if thread.end_seq is not None:
+            run_cap = thread.end_seq - thread.start_seq
+        else:
+            run_cap = self._index.total_instructions - thread.start_seq
+        executed = min(elapsed, run_cap)
+        new_pos = thread.start_seq + executed
+        if new_pos > self._pos:
+            self._pos = new_pos
+        result = self._result
+        result.promoted += 1
+        result.resolved += 1
+        result.instr_to_verif_total += event.seq - thread.spawn_seq
+        result.credit_waiting += elapsed
+        result.credit_executing += executed
+        if self.disable_table is not None:
+            self.disable_table.note(thread.loop, correct=True)
+
+    def _spawn(self, event):
+        idle = self._idle_tus()
+        if idle <= 0:
+            return
+        if self.disable_table is not None \
+                and self.disable_table.blocked(event.loop):
+            return
+        exec_id = event.exec_id
+        rec = self._index.execution(exec_id)
+        total_iterations = rec.iterations \
+            if rec.iterations is not None \
+            else len(rec.iter_seqs) + 1
+        iter_seqs = rec.iter_seqs
+        threads = self._threads.get(exec_id)
+        last_covered = threads[-1].iteration if threads else event.iteration
+        # Iterations whose start the non-speculative position has already
+        # passed (after a long promotion jump) are covered, not spawnable.
+        while last_covered < total_iterations \
+                and iter_seqs[last_covered - 1] <= self._pos:
+            last_covered += 1
+
+        ctx = SpawnContext(idle, event.iteration, last_covered,
+                           self._let_prediction(event.loop),
+                           total_iterations)
+        count = self.policy.spawn_count(ctx)
+        if count > idle:
+            count = idle
+        if count <= 0:
+            return
+        if count != count or count == float("inf"):
+            raise ValueError("policy %s produced a non-finite spawn count"
+                             % self.policy.name)
+
+        result = self._result
+        result.speculation_events += 1
+        if threads is None:
+            threads = self._threads.setdefault(exec_id, [])
+        for j in range(last_covered + 1, last_covered + 1 + int(count)):
+            if j <= total_iterations:
+                start = iter_seqs[j - 2]
+                end = iter_seqs[j - 1] if j < total_iterations else None
+            else:
+                start = None
+                end = None
+            threads.append(SpecThread(event.loop, exec_id, j, start, end,
+                                      self._now, event.seq))
+            self._spec_count += 1
+            result.threads_spawned += 1
+
+    def _apply_nesting_squash(self, limit, seq):
+        """STR(i): squash the outermost speculated loop once more than
+        *limit* non-speculated loops nest inside it."""
+        for idx, (exec_id, _loop) in enumerate(self._stack):
+            threads = self._threads.get(exec_id)
+            if not threads:
+                continue
+            nested_unspeculated = sum(
+                1 for inner_id, _ in self._stack[idx + 1:]
+                if not self._threads.get(inner_id))
+            if nested_unspeculated > limit:
+                result = self._result
+                for thread in threads:
+                    result.squashed_policy += 1
+                    result.resolved += 1
+                    result.instr_to_verif_total += seq - thread.spawn_seq
+                self._spec_count -= len(threads)
+                del self._threads[exec_id]
+            break
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _idle_tus(self):
+        if self.num_tus is None:
+            return float("inf")
+        return self.num_tus - 1 - self._spec_count
+
+    def _let_prediction(self, loop):
+        entry = self._let.lookup(loop)
+        if entry is None or entry.payload is None:
+            return (None, None)
+        return entry.payload.predict()
+
+    def _let_update(self, loop, iterations):
+        entry = self._let.insert(loop)
+        if entry is None:
+            return
+        if entry.payload is None:
+            entry.payload = IterationCountPredictor()
+        entry.payload.update(iterations)
+
+
+def simulate(index, num_tus=4, policy="str", name="workload",
+             let_capacity=None, count_waiting=True, disable_table=None):
+    """One-call convenience wrapper around :class:`SpeculationEngine`."""
+    engine = SpeculationEngine(num_tus=num_tus, policy=policy,
+                               let_capacity=let_capacity,
+                               count_waiting=count_waiting,
+                               disable_table=disable_table)
+    return engine.run(index, name=name)
+
+
+def simulate_infinite(index, name="workload"):
+    """Figure 5's idealized study: unlimited TUs, oracle iteration
+    counts, speculation at loop-execution detection."""
+    engine = SpeculationEngine(num_tus=None, policy=OracleAllPolicy())
+    return engine.run(index, name=name)

@@ -1,0 +1,122 @@
+"""Thread-allocation policies (paper section 3.1.2).
+
+Given a loop iteration starting in the non-speculative thread, a policy
+decides how many further consecutive iterations of that loop to
+speculate:
+
+* **IDLE** -- as many as there are idle thread units.
+* **STR** -- bound the allocation by the predicted number of remaining
+  iterations: ``last count + stride`` when the stride is reliable (two-
+  bit counter), else the last execution's count, else fall back to IDLE.
+* **STR(i)** -- STR, plus: when more than *i* non-speculated loops are
+  nested inside a speculated loop, squash the outermost speculated
+  loop's threads so idle TUs can serve the inner loops.
+* **OracleAll** -- the idealized limit policy of Figure 5: speculate
+  every remaining *actual* iteration (requires unlimited TUs; the only
+  policy allowed to peek at the oracle).
+"""
+
+
+class SpawnContext:
+    """Everything a policy may consult when deciding a spawn count.
+
+    ``prediction`` is the LET's ``(count, mode)`` pair (see
+    :class:`~repro.core.predictors.IterationCountPredictor`);
+    ``oracle_total`` is the actual iteration count of the execution and
+    is reserved for limit studies.
+    """
+
+    __slots__ = ("idle_tus", "iteration", "last_covered", "prediction",
+                 "oracle_total")
+
+    def __init__(self, idle_tus, iteration, last_covered, prediction,
+                 oracle_total):
+        self.idle_tus = idle_tus
+        self.iteration = iteration
+        self.last_covered = last_covered
+        self.prediction = prediction
+        self.oracle_total = oracle_total
+
+
+class Policy:
+    """Base class; subclasses override :meth:`spawn_count`."""
+
+    #: STR(i) nesting limit; None disables the squash rule.
+    nesting_limit = None
+
+    #: Set for the oracle policy; the engine validates TU finiteness.
+    requires_finite_tus = True
+
+    name = "base"
+
+    def spawn_count(self, ctx):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__
+
+
+class IdlePolicy(Policy):
+    """Allocate every idle TU (paper's IDLE)."""
+
+    name = "IDLE"
+
+    def spawn_count(self, ctx):
+        return ctx.idle_tus
+
+
+class StrPolicy(Policy):
+    """Stride-predicted allocation (paper's STR)."""
+
+    name = "STR"
+
+    def spawn_count(self, ctx):
+        count, mode = ctx.prediction
+        if mode is None:
+            # Neither a count nor a stride is known: behave like IDLE.
+            return ctx.idle_tus
+        remaining = count - ctx.last_covered
+        if remaining <= 0:
+            return 0
+        return min(ctx.idle_tus, remaining)
+
+
+class StrIPolicy(StrPolicy):
+    """STR(i): STR plus the nested-loop squash rule."""
+
+    def __init__(self, limit):
+        if limit < 1:
+            raise ValueError("STR(i) requires i >= 1")
+        self.nesting_limit = limit
+        self.name = "STR(%d)" % limit
+
+    def __repr__(self):
+        return "StrIPolicy(%d)" % self.nesting_limit
+
+
+class OracleAllPolicy(Policy):
+    """Speculate all remaining actual iterations (Figure 5 limit study)."""
+
+    name = "ALL"
+    requires_finite_tus = False
+
+    def spawn_count(self, ctx):
+        remaining = ctx.oracle_total - ctx.last_covered
+        return max(0, remaining)
+
+
+def make_policy(spec):
+    """Build a policy from a short spec string: ``"idle"``, ``"str"``,
+    ``"str(2)"``, or ``"all"`` (case-insensitive)."""
+    if isinstance(spec, Policy):
+        return spec
+    text = spec.strip().lower()
+    if text == "idle":
+        return IdlePolicy()
+    if text == "str":
+        return StrPolicy()
+    if text == "all":
+        return OracleAllPolicy()
+    if text.startswith("str(") and text.endswith(")"):
+        return StrIPolicy(int(text[4:-1]))
+    raise ValueError("unknown policy spec %r" % (spec,))

@@ -1,0 +1,234 @@
+"""Loop history tables: the LET and the LIT (paper section 2.3).
+
+Both are associative tables indexed by the loop identifier (target
+address T) with LRU replacement:
+
+* the **LET** (Loop Execution Table) characterizes whole executions; its
+  recency is the most recent *execution* start, and its hit criterion --
+  following section 2.3.1 -- is that two complete executions have been
+  observed since the entry was inserted;
+* the **LIT** (Loop Iteration Table) characterizes iterations; recency is
+  the most recent *iteration* start, and its hit criterion is two
+  complete iterations since insertion.
+
+Entries are inserted when a loop execution starts.  An alternative
+*nesting-aware* replacement (section 2.3.2) inhibits an insertion that
+would evict a loop nested inside the inserting loop; the paper found it
+indistinguishable from LRU, and the ablation benchmark verifies that.
+"""
+
+from collections import OrderedDict
+
+from repro.core.events import (
+    ExecutionEnd,
+    ExecutionStart,
+    IterationStart,
+    SingleIteration,
+)
+
+POLICY_LRU = "lru"
+POLICY_NESTING_AWARE = "nesting-aware"
+_POLICIES = (POLICY_LRU, POLICY_NESTING_AWARE)
+
+
+class TableEntry:
+    """One table entry: identity, the completions-since-insert counter the
+    hit criterion needs, and an arbitrary payload (predictors)."""
+
+    __slots__ = ("loop", "completed", "payload")
+
+    def __init__(self, loop):
+        self.loop = loop
+        self.completed = 0
+        self.payload = None
+
+    def __repr__(self):
+        return "TableEntry(loop=%d, completed=%d)" % (self.loop,
+                                                      self.completed)
+
+
+class LoopHistoryTable:
+    """An associative loop table with LRU or nesting-aware replacement.
+
+    ``capacity=None`` means unbounded (used for limit studies and by the
+    speculation engine's default configuration).
+    """
+
+    def __init__(self, capacity=None, policy=POLICY_LRU):
+        if capacity is not None and capacity < 1:
+            raise ValueError("table capacity must be >= 1 or None")
+        if policy not in _POLICIES:
+            raise ValueError("unknown replacement policy %r" % policy)
+        self.capacity = capacity
+        self.policy = policy
+        self._entries = OrderedDict()   # loop -> TableEntry, LRU order
+        self.evictions = 0
+        self.inhibited_insertions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, loop):
+        return loop in self._entries
+
+    def lookup(self, loop, touch=True):
+        """Return the entry for *loop* (or None), updating recency."""
+        entry = self._entries.get(loop)
+        if entry is not None and touch:
+            self._entries.move_to_end(loop)
+        return entry
+
+    def insert(self, loop, nested_in_candidate=None):
+        """Insert *loop* if absent; returns its entry (or ``None`` when
+        the nesting-aware policy inhibits the insertion).
+
+        *nested_in_candidate* is the set of loops historically observed
+        nested inside *loop*; only the nesting-aware policy consults it.
+        """
+        entry = self._entries.get(loop)
+        if entry is not None:
+            self._entries.move_to_end(loop)
+            return entry
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            victim = next(iter(self._entries))
+            if self.policy == POLICY_NESTING_AWARE \
+                    and nested_in_candidate \
+                    and victim in nested_in_candidate:
+                self.inhibited_insertions += 1
+                return None
+            self._entries.pop(victim)
+            self.evictions += 1
+        entry = TableEntry(loop)
+        self._entries[loop] = entry
+        return entry
+
+    def victim(self):
+        """The entry that would be evicted next (LRU head)."""
+        if not self._entries:
+            return None
+        return self._entries[next(iter(self._entries))]
+
+    def loops(self):
+        return list(self._entries)
+
+
+class NestingTracker:
+    """Reconstructs, from detector events, which loops have historically
+    been observed nested inside each loop (for the nesting-aware policy).
+    """
+
+    def __init__(self):
+        self._active = []          # (exec_id, loop), outermost first
+        self.nested_in = {}        # loop -> set of inner loop ids
+
+    def on_event(self, event):
+        if type(event) is ExecutionStart:
+            for _, outer_loop in self._active:
+                self.nested_in.setdefault(outer_loop, set()).add(event.loop)
+            self._active.append((event.exec_id, event.loop))
+        elif type(event) is ExecutionEnd:
+            for index in range(len(self._active) - 1, -1, -1):
+                if self._active[index][0] == event.exec_id:
+                    del self._active[index]
+                    break
+
+    def nested_inside(self, loop):
+        return self.nested_in.get(loop, ())
+
+
+class TableHitRatioSimulator:
+    """Replays detector events through a LET and a LIT, measuring the
+    paper's hit ratios (Figure 4).
+
+    LET hit: at an execution start, the loop is present with >= 2
+    executions completed since insertion.  LIT hit: at an iteration
+    start, the loop is present with >= 2 iterations completed since
+    insertion.  First iterations are never tested (they are undetected
+    until they finish).  Usable as a detector listener or replayed over a
+    stored event list via :meth:`replay`.
+    """
+
+    def __init__(self, let_entries, lit_entries, policy=POLICY_LRU):
+        self.let = LoopHistoryTable(let_entries, policy)
+        self.lit = LoopHistoryTable(lit_entries, policy)
+        self.policy = policy
+        self._nesting = NestingTracker() if policy == POLICY_NESTING_AWARE \
+            else None
+        self.let_hits = 0
+        self.let_accesses = 0
+        self.lit_hits = 0
+        self.lit_accesses = 0
+
+    # -- event plumbing -----------------------------------------------------
+
+    def replay(self, events):
+        on_event = self.on_event
+        for event in events:
+            on_event(event)
+        return self
+
+    def on_event(self, event):
+        if self._nesting is not None:
+            self._nesting.on_event(event)
+        etype = type(event)
+        if etype is IterationStart:
+            if event.iteration > 2:
+                # The iteration that just finished completes now.
+                self._complete_iteration(event.loop)
+            self._access_lit(event.loop)
+        elif etype is ExecutionStart:
+            # The paired IterationStart(iteration=2) event that follows
+            # performs the LIT access against the freshly ensured entry.
+            self._access_let(event.loop)
+            self._insert_both(event.loop)
+        elif etype is ExecutionEnd:
+            self._complete_iteration(event.loop)
+            self._complete_execution(event.loop)
+        elif etype is SingleIteration:
+            self._access_let(event.loop)
+            self._insert_both(event.loop)
+            self._complete_iteration(event.loop)
+            self._complete_execution(event.loop)
+
+    # -- accesses ------------------------------------------------------------
+
+    def _access_let(self, loop):
+        self.let_accesses += 1
+        entry = self.let.lookup(loop)
+        if entry is not None and entry.completed >= 2:
+            self.let_hits += 1
+
+    def _access_lit(self, loop):
+        self.lit_accesses += 1
+        entry = self.lit.lookup(loop)
+        if entry is not None and entry.completed >= 2:
+            self.lit_hits += 1
+
+    def _insert_both(self, loop):
+        nested = self._nesting.nested_inside(loop) if self._nesting else None
+        self.let.insert(loop, nested)
+        self.lit.insert(loop, nested)
+
+    def _complete_iteration(self, loop):
+        entry = self.lit.lookup(loop, touch=False)
+        if entry is not None:
+            entry.completed += 1
+
+    def _complete_execution(self, loop):
+        entry = self.let.lookup(loop, touch=False)
+        if entry is not None:
+            entry.completed += 1
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def let_hit_ratio(self):
+        if not self.let_accesses:
+            return 0.0
+        return self.let_hits / self.let_accesses
+
+    @property
+    def lit_hit_ratio(self):
+        if not self.lit_accesses:
+            return 0.0
+        return self.lit_hits / self.lit_accesses

@@ -1,0 +1,20 @@
+"""CPU interpreters: reference machine and fast tracing loops."""
+
+from repro.cpu.machine import Machine, STACK_TOP, pack_program, wrap64
+from repro.cpu.memory import Memory
+from repro.cpu.tracer import (
+    TraceBudgetExceeded,
+    trace_control_flow,
+    trace_full,
+)
+
+__all__ = [
+    "Machine",
+    "Memory",
+    "STACK_TOP",
+    "pack_program",
+    "wrap64",
+    "TraceBudgetExceeded",
+    "trace_control_flow",
+    "trace_full",
+]

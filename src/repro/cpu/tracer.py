@@ -1,0 +1,280 @@
+"""High-throughput tracing interpreters.
+
+Two loops over the packed program form:
+
+* :func:`trace_control_flow` records only control-transfer instructions
+  (:class:`~repro.trace.record.CFRecord`) -- the input to loop detection
+  and thread speculation.
+* :func:`trace_full` records every instruction with register and memory
+  effects (:class:`~repro.trace.record.FullRecord`) -- the input to the
+  data-speculation study.
+
+Both deliberately duplicate the dispatch of :class:`repro.cpu.machine.
+Machine`; the duplication is the price of a usable simulation rate in
+pure Python, and equivalence is pinned by differential tests.
+"""
+
+from repro.isa.errors import ProgramError
+from repro.isa.instructions import InstrKind
+from repro.isa.registers import NUM_REGISTERS, REG_SP
+from repro.cpu.machine import (
+    BRANCH_CODES,
+    C_ADD, C_ADDI, C_AND, C_ANDI, C_BEQ, C_BGE, C_BGT, C_BLE, C_BLT, C_BNE,
+    C_CALL, C_DIV, C_DIVI, C_HALT, C_JMP, C_JR, C_LD, C_LI, C_MAX, C_MIN,
+    C_MV, C_MUL, C_MULI, C_NOP, C_OR, C_ORI, C_REM, C_REMI, C_RET, C_SEQ,
+    C_SLE, C_SLL, C_SLLI, C_SLT, C_SLTI, C_SNE, C_SRA, C_SRAI, C_SRL,
+    C_SRLI, C_ST, C_SUB, C_SUBI, C_XOR, C_XORI,
+    STACK_TOP,
+    _ALU, _BRANCH, _IMM_TO_REG,
+    pack_program, wrap64,
+)
+from repro.trace.record import CFRecord, FullRecord
+from repro.trace.stream import CFTrace, FullTrace
+
+_K_BRANCH = int(InstrKind.BRANCH)
+_K_JUMP = int(InstrKind.JUMP)
+_K_IJUMP = int(InstrKind.IJUMP)
+_K_CALL = int(InstrKind.CALL)
+_K_RET = int(InstrKind.RET)
+_K_HALT = int(InstrKind.HALT)
+
+_I64_MAX = (1 << 63) - 1
+_I64_MIN = -(1 << 63)
+
+
+class TraceBudgetExceeded(ProgramError):
+    """Raised when a program does not halt within the instruction budget
+    and ``allow_truncation`` is False."""
+
+
+def trace_control_flow(program, max_instructions=5_000_000,
+                       allow_truncation=True):
+    """Run *program* and return its control-flow trace.
+
+    When the budget is exhausted before ``halt`` the trace is returned
+    truncated (``trace.halted`` is False) unless *allow_truncation* is
+    False, in which case :class:`TraceBudgetExceeded` is raised.
+    """
+    packed = pack_program(program)
+    regs = [0] * NUM_REGISTERS
+    regs[REG_SP] = STACK_TOP
+    mem = dict(program.data.initial)
+    mem_get = mem.get
+    records = []
+    append = records.append
+    pc = program.entry
+    seq = 0
+    halted = False
+    alu = _ALU
+    branch = _BRANCH
+
+    while seq < max_instructions:
+        code, rd, rs1, rs2, imm, target = packed[pc]
+        if code == C_ADDI:
+            v = regs[rs1] + imm
+            if v > _I64_MAX or v < _I64_MIN:
+                v = wrap64(v)
+            if rd:
+                regs[rd] = v
+            pc += 1
+        elif code == C_LD:
+            if rd:
+                regs[rd] = mem_get(regs[rs1] + imm, 0)
+            pc += 1
+        elif code == C_ST:
+            mem[regs[rs1] + imm] = regs[rs2]
+            pc += 1
+        elif code in BRANCH_CODES:
+            taken = branch[code](regs[rs1], regs[rs2])
+            append(CFRecord(seq, pc, _K_BRANCH, taken, target))
+            pc = target if taken else pc + 1
+        elif code == C_ADD:
+            v = regs[rs1] + regs[rs2]
+            if v > _I64_MAX or v < _I64_MIN:
+                v = wrap64(v)
+            if rd:
+                regs[rd] = v
+            pc += 1
+        elif code == C_LI:
+            if rd:
+                regs[rd] = imm
+            pc += 1
+        elif code == C_MV:
+            if rd:
+                regs[rd] = regs[rs1]
+            pc += 1
+        elif code == C_SUB:
+            v = regs[rs1] - regs[rs2]
+            if v > _I64_MAX or v < _I64_MIN:
+                v = wrap64(v)
+            if rd:
+                regs[rd] = v
+            pc += 1
+        elif code == C_MUL:
+            v = regs[rs1] * regs[rs2]
+            if v > _I64_MAX or v < _I64_MIN:
+                v = wrap64(v)
+            if rd:
+                regs[rd] = v
+            pc += 1
+        elif code == C_MULI:
+            v = regs[rs1] * imm
+            if v > _I64_MAX or v < _I64_MIN:
+                v = wrap64(v)
+            if rd:
+                regs[rd] = v
+            pc += 1
+        elif code == C_JMP:
+            append(CFRecord(seq, pc, _K_JUMP, True, target))
+            pc = target
+        elif code == C_CALL:
+            regs[1] = pc + 1
+            append(CFRecord(seq, pc, _K_CALL, True, target))
+            pc = target
+        elif code == C_RET:
+            nxt = regs[1]
+            append(CFRecord(seq, pc, _K_RET, True, nxt))
+            pc = nxt
+        elif code == C_JR:
+            nxt = regs[rs1]
+            append(CFRecord(seq, pc, _K_IJUMP, True, nxt))
+            pc = nxt
+        elif code == C_HALT:
+            append(CFRecord(seq, pc, _K_HALT, False, None))
+            seq += 1
+            halted = True
+            break
+        elif code == C_NOP:
+            pc += 1
+        else:
+            # Remaining ALU forms (immediate and register) via the tables.
+            if code in _IMM_TO_REG:
+                v = alu[_IMM_TO_REG[code]](regs[rs1], imm)
+            else:
+                v = alu[code](regs[rs1], regs[rs2])
+            if rd:
+                regs[rd] = v
+            pc += 1
+        seq += 1
+
+    if not halted and not allow_truncation:
+        raise TraceBudgetExceeded(
+            "program %r did not halt within %d instructions"
+            % (program.name, max_instructions))
+    return CFTrace(records=records, total_instructions=seq, halted=halted,
+                   program_name=program.name)
+
+
+def trace_full(program, max_instructions=1_000_000, allow_truncation=True):
+    """Run *program* recording every instruction's architectural effects."""
+    packed = pack_program(program)
+    regs = [0] * NUM_REGISTERS
+    regs[REG_SP] = STACK_TOP
+    mem = dict(program.data.initial)
+    mem_get = mem.get
+    records = []
+    append = records.append
+    pc = program.entry
+    seq = 0
+    halted = False
+    alu = _ALU
+    branch = _BRANCH
+    empty = ()
+    k_other = int(InstrKind.OTHER)
+
+    while seq < max_instructions:
+        code, rd, rs1, rs2, imm, target = packed[pc]
+        if code <= C_MAX:  # three-register ALU block
+            a = regs[rs1]
+            b = regs[rs2]
+            v = alu[code](a, b)
+            if rd:
+                regs[rd] = v
+            append(FullRecord(seq, pc, k_other, False, None,
+                              ((rs1, a), (rs2, b)), ((rd, v),), empty,
+                              empty))
+            pc += 1
+        elif code <= C_SLTI:  # immediate ALU block
+            a = regs[rs1]
+            v = alu[_IMM_TO_REG[code]](a, imm)
+            if rd:
+                regs[rd] = v
+            append(FullRecord(seq, pc, k_other, False, None,
+                              ((rs1, a),), ((rd, v),), empty, empty))
+            pc += 1
+        elif code == C_LI:
+            if rd:
+                regs[rd] = imm
+            append(FullRecord(seq, pc, k_other, False, None,
+                              empty, ((rd, imm),), empty, empty))
+            pc += 1
+        elif code == C_MV:
+            a = regs[rs1]
+            if rd:
+                regs[rd] = a
+            append(FullRecord(seq, pc, k_other, False, None,
+                              ((rs1, a),), ((rd, a),), empty, empty))
+            pc += 1
+        elif code == C_LD:
+            base = regs[rs1]
+            addr = base + imm
+            v = mem_get(addr, 0)
+            if rd:
+                regs[rd] = v
+            append(FullRecord(seq, pc, k_other, False, None,
+                              ((rs1, base),), ((rd, v),), ((addr, v),),
+                              empty))
+            pc += 1
+        elif code == C_ST:
+            base = regs[rs1]
+            addr = base + imm
+            v = regs[rs2]
+            mem[addr] = v
+            append(FullRecord(seq, pc, k_other, False, None,
+                              ((rs1, base), (rs2, v)), empty, empty,
+                              ((addr, v),)))
+            pc += 1
+        elif code in BRANCH_CODES:
+            a = regs[rs1]
+            b = regs[rs2]
+            taken = branch[code](a, b)
+            append(FullRecord(seq, pc, _K_BRANCH, taken, target,
+                              ((rs1, a), (rs2, b)), empty, empty, empty))
+            pc = target if taken else pc + 1
+        elif code == C_JMP:
+            append(FullRecord(seq, pc, _K_JUMP, True, target,
+                              empty, empty, empty, empty))
+            pc = target
+        elif code == C_CALL:
+            regs[1] = pc + 1
+            append(FullRecord(seq, pc, _K_CALL, True, target,
+                              empty, ((1, pc + 1),), empty, empty))
+            pc = target
+        elif code == C_RET:
+            nxt = regs[1]
+            append(FullRecord(seq, pc, _K_RET, True, nxt,
+                              ((1, nxt),), empty, empty, empty))
+            pc = nxt
+        elif code == C_JR:
+            nxt = regs[rs1]
+            append(FullRecord(seq, pc, _K_IJUMP, True, nxt,
+                              ((rs1, nxt),), empty, empty, empty))
+            pc = nxt
+        elif code == C_HALT:
+            append(FullRecord(seq, pc, _K_HALT, False, None,
+                              empty, empty, empty, empty))
+            seq += 1
+            halted = True
+            break
+        else:  # NOP
+            append(FullRecord(seq, pc, k_other, False, None,
+                              empty, empty, empty, empty))
+            pc += 1
+        seq += 1
+
+    if not halted and not allow_truncation:
+        raise TraceBudgetExceeded(
+            "program %r did not halt within %d instructions"
+            % (program.name, max_instructions))
+    return FullTrace(records=records, total_instructions=seq, halted=halted,
+                     program_name=program.name)

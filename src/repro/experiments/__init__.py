@@ -1,0 +1,12 @@
+"""One module per table/figure of the paper, plus ablations.
+
+Every experiment is a function ``run(runner)`` taking a
+:class:`~repro.experiments.runner.SuiteRunner` and returning one or more
+:class:`~repro.experiments.report.ExperimentResult` objects.  The
+command line entry point is ``python -m repro.experiments.runner``.
+"""
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import SuiteRunner, available_experiments
+
+__all__ = ["ExperimentResult", "SuiteRunner", "available_experiments"]

@@ -1,0 +1,36 @@
+"""Figure 6: per-benchmark TPC for 2/4/8/16 TUs under the STR policy.
+
+The paper's headline numbers: suite-average TPC of 1.65 / 2.6 / 4 / 6.2
+for 2 / 4 / 8 / 16 thread units.
+"""
+
+from repro.core.speculation import simulate
+from repro.experiments.report import ExperimentResult
+
+TU_COUNTS = (2, 4, 8, 16)
+
+
+def run(runner):
+    rows = []
+    results = {}
+    sums = {tus: 0.0 for tus in TU_COUNTS}
+    count = 0
+    for name, index in runner.indexes():
+        row = [name]
+        results[name] = {}
+        for tus in TU_COUNTS:
+            result = simulate(index, num_tus=tus, policy="str", name=name)
+            results[name][tus] = result
+            sums[tus] += result.tpc
+            row.append(round(result.tpc, 2))
+        rows.append(tuple(row))
+        count += 1
+    avg_row = ["AVG"] + [round(sums[tus] / count, 2) for tus in TU_COUNTS]
+    rows.insert(0, tuple(avg_row))
+    return ExperimentResult(
+        "Figure 6: TPC under STR for 2/4/8/16 TUs",
+        ("program",) + tuple("%d TUs" % t for t in TU_COUNTS),
+        rows,
+        notes=["paper averages: 1.65 / 2.6 / 4 / 6.2"],
+        extra={"results": results},
+    )

@@ -1,0 +1,39 @@
+"""Figure 7: suite-average TPC per policy (IDLE, STR, STR(1..3)).
+
+The paper's ordering: STR slightly beats IDLE; STR(i) trails STR because
+it squashes correct speculations, with lower *i* more aggressive (but
+STR(i) favours inner loops, which matters once data dependences are
+considered -- the paper recommends STR(3)).
+"""
+
+from repro.core.speculation import simulate
+from repro.experiments.report import ExperimentResult
+
+TU_COUNTS = (2, 4, 8, 16)
+POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
+
+
+def run(runner):
+    averages = {}
+    indexes = runner.indexes()
+    for policy in POLICIES:
+        for tus in TU_COUNTS:
+            total = 0.0
+            for name, index in indexes:
+                total += simulate(index, num_tus=tus, policy=policy,
+                                  name=name).tpc
+            averages[(policy, tus)] = total / len(indexes)
+
+    rows = []
+    for policy in POLICIES:
+        rows.append((policy.upper(),)
+                    + tuple(round(averages[(policy, tus)], 2)
+                            for tus in TU_COUNTS))
+    return ExperimentResult(
+        "Figure 7: average TPC per speculation policy",
+        ("policy",) + tuple("%d TUs" % t for t in TU_COUNTS),
+        rows,
+        notes=["expected ordering: STR >= IDLE > STR(3) > STR(2) > "
+               "STR(1)"],
+        extra={"averages": averages},
+    )

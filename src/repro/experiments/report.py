@@ -1,0 +1,58 @@
+"""Shared result container and rendering for experiments."""
+
+from repro.util.fmt import format_table
+
+
+class ExperimentResult:
+    """A named table of results with optional notes.
+
+    ``rows`` is a list of tuples matching ``headers``; ``extra`` carries
+    experiment-specific structured data (e.g. per-series dictionaries)
+    for programmatic consumers and tests.
+    """
+
+    def __init__(self, name, headers, rows, notes=None, extra=None):
+        self.name = name
+        self.headers = tuple(headers)
+        self.rows = [tuple(r) for r in rows]
+        self.notes = notes or []
+        self.extra = extra or {}
+
+    def render(self):
+        text = format_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += "\n" + "\n".join("note: %s" % n for n in self.notes)
+        return text
+
+    def row_for(self, key):
+        """First row whose first column equals *key*."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError("no row %r in %s" % (key, self.name))
+
+    def column(self, header):
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self):
+        """Render as CSV (for spreadsheets / plotting scripts)."""
+        def cell(value):
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"%s"' % text.replace('"', '""')
+            return text
+
+        lines = [",".join(cell(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(cell(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv())
+        return path
+
+    def __repr__(self):
+        return "ExperimentResult(%r, %d rows)" % (self.name,
+                                                  len(self.rows))

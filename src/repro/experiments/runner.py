@@ -1,0 +1,132 @@
+"""Suite runner: traces workloads once, shares indexes across
+experiments, and provides a command-line entry point.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner table1 figure6
+    python -m repro.experiments.runner all --scale 2
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.detector import LoopDetector
+from repro.workloads import suite
+
+
+class SuiteRunner:
+    """Caches per-workload traces and loop indexes.
+
+    The interpretation step dominates experiment cost; every experiment
+    shares one control-flow trace and one detector pass per workload.
+    """
+
+    def __init__(self, scale=1, cls_capacity=16, max_instructions=None,
+                 workloads=None):
+        self.scale = scale
+        self.cls_capacity = cls_capacity
+        self.max_instructions = max_instructions
+        self._workloads = list(workloads) if workloads is not None \
+            else suite()
+        self._traces = {}
+        self._indexes = {}
+
+    @property
+    def workloads(self):
+        return list(self._workloads)
+
+    def trace(self, name):
+        if name not in self._traces:
+            workload = self._get(name)
+            self._traces[name] = workload.cf_trace(
+                self.scale, self.max_instructions)
+        return self._traces[name]
+
+    def index(self, name):
+        if name not in self._indexes:
+            detector = LoopDetector(cls_capacity=self.cls_capacity)
+            self._indexes[name] = detector.run(self.trace(name))
+        return self._indexes[name]
+
+    def indexes(self):
+        return [(w.name, self.index(w.name)) for w in self._workloads]
+
+    def _get(self, name):
+        for workload in self._workloads:
+            if workload.name == name:
+                return workload
+        raise KeyError("workload %r not in this runner" % name)
+
+
+def available_experiments():
+    """Name -> callable(runner) for every experiment."""
+    from repro.experiments import (
+        ablations,
+        baselines,
+        extensions,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        table1,
+        table2,
+    )
+    return {
+        "table1": table1.run,
+        "figure4": figure4.run,
+        "figure5": figure5.run,
+        "figure6": figure6.run,
+        "figure7": figure7.run,
+        "table2": table2.run,
+        "figure8": figure8.run,
+        "ablations": ablations.run,
+        "baselines": baselines.run,
+        "extensions": extensions.run,
+    }
+
+
+def main(argv=None):
+    experiments = available_experiments()
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names, or 'all'")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload size multiplier (default 1)")
+    parser.add_argument("--cls-capacity", type=int, default=16)
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in experiments:
+            print("  %s" % name)
+        return 0
+
+    names = list(experiments) if args.experiments == ["all"] \
+        else args.experiments
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        parser.error("unknown experiments: %s" % ", ".join(unknown))
+
+    runner = SuiteRunner(scale=args.scale,
+                         cls_capacity=args.cls_capacity)
+    for name in names:
+        start = time.time()
+        results = experiments[name](runner)
+        if not isinstance(results, list):
+            results = [results]
+        for result in results:
+            print(result.render())
+            print()
+        print("[%s done in %.1fs]" % (name, time.time() - start))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

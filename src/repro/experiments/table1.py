@@ -1,0 +1,31 @@
+"""Table 1: loop statistics of the workload suite.
+
+Columns follow the paper: dynamic instructions, static loops, average
+iterations per execution, average instructions per iteration, and
+average/maximum nesting level.
+"""
+
+from repro.core.loopstats import LoopStatistics, compute_loop_statistics
+from repro.experiments.report import ExperimentResult
+
+
+def run(runner):
+    rows = []
+    stats_by_name = {}
+    for name, index in runner.indexes():
+        stats = compute_loop_statistics(index, name)
+        stats_by_name[name] = stats
+        rows.append(stats.as_row())
+    return ExperimentResult(
+        "Table 1: Loop statistics",
+        LoopStatistics.ROW_HEADERS,
+        rows,
+        notes=[
+            "instr/iter covers detected, fully delimited iterations "
+            "(the first iteration of an execution is undetected until "
+            "it finishes; see DESIGN.md)",
+            "scale=%d; the paper traces 10^9-10^11 Alpha instructions "
+            "per benchmark" % runner.scale,
+        ],
+        extra={"stats": stats_by_name},
+    )

@@ -1,0 +1,142 @@
+"""Binary encoding of programs.
+
+A fixed 16-byte word per instruction::
+
+    byte 0      opcode ordinal
+    byte 1      rd
+    byte 2      rs1
+    byte 3      rs2
+    bytes 4-11  imm  (signed 64-bit, little endian)
+    bytes 12-15 target (unsigned 32-bit; 0xFFFFFFFF = none)
+
+plus a small container format for whole programs (magic, entry point,
+instruction count, label table, data segment).  This gives the suite a
+stable on-disk form -- traces can be regenerated anywhere from a few KB
+-- and pins the instruction set: adding/reordering opcodes breaks the
+round-trip tests loudly.
+"""
+
+import struct
+
+from repro.isa.errors import ProgramError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+_MAGIC = b"RPRO\x01"
+_NO_TARGET = 0xFFFFFFFF
+_INSTR = struct.Struct("<BBBBqI")
+
+#: Stable opcode numbering for the wire format (append-only).
+WIRE_OPCODES = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+    Opcode.SRA, Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+    Opcode.MIN, Opcode.MAX,
+    Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.DIVI, Opcode.REMI,
+    Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI, Opcode.SRLI,
+    Opcode.SRAI, Opcode.SLTI,
+    Opcode.LI, Opcode.MV, Opcode.LD, Opcode.ST,
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE,
+    Opcode.BGT, Opcode.JMP, Opcode.JR, Opcode.CALL, Opcode.RET,
+    Opcode.NOP, Opcode.HALT,
+)
+_TO_WIRE = {op: i for i, op in enumerate(WIRE_OPCODES)}
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def encode_instruction(instr):
+    """Encode one (finalized) instruction to 16 bytes."""
+    if instr.op not in _TO_WIRE:
+        raise ProgramError("opcode %r has no wire encoding" % instr.op)
+    if not _I64_MIN <= instr.imm <= _I64_MAX:
+        raise ProgramError("immediate %d out of encodable range"
+                           % instr.imm)
+    target = _NO_TARGET if instr.target is None else instr.target
+    return _INSTR.pack(_TO_WIRE[instr.op], instr.rd, instr.rs1,
+                       instr.rs2, instr.imm, target)
+
+
+def decode_instruction(blob):
+    """Decode 16 bytes back to an :class:`Instruction`."""
+    code, rd, rs1, rs2, imm, target = _INSTR.unpack(blob)
+    if code >= len(WIRE_OPCODES):
+        raise ProgramError("unknown wire opcode %d" % code)
+    return Instruction(WIRE_OPCODES[code], rd=rd, rs1=rs1, rs2=rs2,
+                       imm=imm,
+                       target=None if target == _NO_TARGET else target)
+
+
+def _pack_str(text):
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(blob, offset):
+    (length,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    return blob[offset:offset + length].decode("utf-8"), offset + length
+
+
+def encode_program(program):
+    """Serialize a finalized program to bytes."""
+    program.finalize()
+    parts = [_MAGIC, _pack_str(program.name),
+             struct.pack("<II", program.entry, len(program.instructions))]
+    for instr in program.instructions:
+        parts.append(encode_instruction(instr))
+    parts.append(struct.pack("<I", len(program.labels)))
+    for name, addr in sorted(program.labels.items()):
+        parts.append(_pack_str(name))
+        parts.append(struct.pack("<I", addr))
+    data = program.data
+    parts.append(struct.pack("<qI", data.base, len(data.symbols)))
+    for name, addr in sorted(data.symbols.items()):
+        parts.append(_pack_str(name))
+        parts.append(struct.pack("<q", addr))
+    parts.append(struct.pack("<I", len(data.initial)))
+    for addr, value in sorted(data.initial.items()):
+        parts.append(struct.pack("<qq", addr, value))
+    return b"".join(parts)
+
+
+def decode_program(blob):
+    """Deserialize bytes produced by :func:`encode_program`."""
+    if not blob.startswith(_MAGIC):
+        raise ProgramError("not an encoded program (bad magic)")
+    offset = len(_MAGIC)
+    name, offset = _unpack_str(blob, offset)
+    entry, count = struct.unpack_from("<II", blob, offset)
+    offset += 8
+    program = Program(name=name)
+    for _ in range(count):
+        program.emit(decode_instruction(blob[offset:offset + _INSTR.size]))
+        offset += _INSTR.size
+    (nlabels,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    for _ in range(nlabels):
+        label, offset = _unpack_str(blob, offset)
+        (addr,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        program.labels[label] = addr
+    base, nsymbols = struct.unpack_from("<qI", blob, offset)
+    offset += 12
+    program.data.base = base
+    next_free = base
+    for _ in range(nsymbols):
+        symbol, offset = _unpack_str(blob, offset)
+        (addr,) = struct.unpack_from("<q", blob, offset)
+        offset += 8
+        program.data.symbols[symbol] = addr
+        next_free = max(next_free, addr + 1)
+    program.data._next = next_free
+    (ninit,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    for _ in range(ninit):
+        addr, value = struct.unpack_from("<qq", blob, offset)
+        offset += 16
+        program.data.initial[addr] = value
+        program.data._next = max(program.data._next, addr + 1)
+    program.entry = entry
+    return program.finalize()

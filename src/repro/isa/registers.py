@@ -1,0 +1,98 @@
+"""Register file definition and software conventions.
+
+The machine has 32 general-purpose 64-bit registers.  Register 0 is
+hard-wired to zero, as in most RISC ISAs.  The remaining conventions are
+purely a software contract between :mod:`repro.lang.compiler` and hand
+written assembly:
+
+====== ========= ==========================================
+index  name      role
+====== ========= ==========================================
+0      zero      always reads as 0, writes are discarded
+1      ra        return address (written by ``call``)
+2      sp        stack pointer
+3      fp        frame pointer
+4      rv        first argument / return value
+5-9    a1..a5    further arguments
+10-19  t0..t9    expression temporaries (caller saved)
+20-29  s0..s9    saved registers (callee saved)
+30-31  x0..x1    assembler/compiler scratch
+====== ========= ==========================================
+"""
+
+from repro.isa.errors import IsaError
+
+NUM_REGISTERS = 32
+
+REG_ZERO = 0
+REG_RA = 1
+REG_SP = 2
+REG_FP = 3
+REG_RV = 4
+
+#: Argument registers, in order; the first doubles as the return value.
+ARG_REGISTERS = (4, 5, 6, 7, 8, 9)
+
+#: Temporaries used by the expression compiler as an evaluation stack.
+TEMP_REGISTERS = tuple(range(10, 20))
+
+#: Callee-saved registers.
+SAVED_REGISTERS = tuple(range(20, 30))
+
+REG_SCRATCH0 = 30
+REG_SCRATCH1 = 31
+
+_SPECIAL_NAMES = {
+    REG_ZERO: "zero",
+    REG_RA: "ra",
+    REG_SP: "sp",
+    REG_FP: "fp",
+}
+
+_NAME_TO_INDEX = {}
+
+
+def _build_name_table():
+    for idx, name in _SPECIAL_NAMES.items():
+        _NAME_TO_INDEX[name] = idx
+    for pos, idx in enumerate(ARG_REGISTERS):
+        _NAME_TO_INDEX["a%d" % pos] = idx
+    _NAME_TO_INDEX["rv"] = REG_RV
+    for pos, idx in enumerate(TEMP_REGISTERS):
+        _NAME_TO_INDEX["t%d" % pos] = idx
+    for pos, idx in enumerate(SAVED_REGISTERS):
+        _NAME_TO_INDEX["s%d" % pos] = idx
+    _NAME_TO_INDEX["x0"] = REG_SCRATCH0
+    _NAME_TO_INDEX["x1"] = REG_SCRATCH1
+    for idx in range(NUM_REGISTERS):
+        _NAME_TO_INDEX["r%d" % idx] = idx
+
+
+_build_name_table()
+
+
+def register_name(index):
+    """Return the canonical symbolic name of register *index*."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise IsaError("register index out of range: %r" % (index,))
+    if index in _SPECIAL_NAMES:
+        return _SPECIAL_NAMES[index]
+    if index == REG_RV:
+        return "rv"
+    if index in ARG_REGISTERS:
+        return "a%d" % ARG_REGISTERS.index(index)
+    if index in TEMP_REGISTERS:
+        return "t%d" % TEMP_REGISTERS.index(index)
+    if index in SAVED_REGISTERS:
+        return "s%d" % SAVED_REGISTERS.index(index)
+    if index == REG_SCRATCH0:
+        return "x0"
+    return "x1"
+
+
+def parse_register(text):
+    """Parse a register name (``r7``, ``sp``, ``t3``, ...) to its index."""
+    try:
+        return _NAME_TO_INDEX[text.strip().lower()]
+    except KeyError:
+        raise IsaError("unknown register name: %r" % (text,)) from None

@@ -1,0 +1,424 @@
+"""Abstract syntax of the structured mini-language.
+
+The 18 synthetic workloads are written as Python-built ASTs and compiled
+to the ISA by :mod:`repro.lang.compiler`.  Expression nodes overload the
+arithmetic and comparison operators so workload sources read naturally::
+
+    i = Var("i")
+    body = [Assign("acc", Var("acc") + Index("table", i % 64))]
+    loop = For("i", 0, 100, body)
+
+Equality comparisons are spelled ``expr.eq(other)`` / ``expr.ne(other)``
+so ``==`` keeps its ordinary Python meaning on AST nodes.
+"""
+
+from repro.isa.errors import IsaError
+
+
+class LangError(IsaError):
+    """Raised for malformed mini-language constructs."""
+
+
+def as_expr(value):
+    """Coerce ints to :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    raise LangError("cannot use %r as an expression" % (value,))
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other):
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other):
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", as_expr(other), self)
+
+    def __floordiv__(self, other):
+        return BinOp("/", self, as_expr(other))
+
+    def __rfloordiv__(self, other):
+        return BinOp("/", as_expr(other), self)
+
+    def __mod__(self, other):
+        return BinOp("%", self, as_expr(other))
+
+    def __rmod__(self, other):
+        return BinOp("%", as_expr(other), self)
+
+    def __and__(self, other):
+        return BinOp("&", self, as_expr(other))
+
+    def __or__(self, other):
+        return BinOp("|", self, as_expr(other))
+
+    def __xor__(self, other):
+        return BinOp("^", self, as_expr(other))
+
+    def __lshift__(self, other):
+        return BinOp("<<", self, as_expr(other))
+
+    def __rshift__(self, other):
+        return BinOp(">>", self, as_expr(other))
+
+    def __lt__(self, other):
+        return BinOp("<", self, as_expr(other))
+
+    def __le__(self, other):
+        return BinOp("<=", self, as_expr(other))
+
+    def __gt__(self, other):
+        return BinOp(">", self, as_expr(other))
+
+    def __ge__(self, other):
+        return BinOp(">=", self, as_expr(other))
+
+    def __neg__(self):
+        return UnaryOp("-", self)
+
+    def eq(self, other):
+        return BinOp("==", self, as_expr(other))
+
+    def ne(self, other):
+        return BinOp("!=", self, as_expr(other))
+
+    def logical_not(self):
+        return UnaryOp("!", self)
+
+    def min_(self, other):
+        return BinOp("min", self, as_expr(other))
+
+    def max_(self, other):
+        return BinOp("max", self, as_expr(other))
+
+
+class Const(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if not isinstance(value, int):
+            raise LangError("Const expects an int, got %r" % (value,))
+        self.value = value
+
+    def __repr__(self):
+        return "Const(%d)" % self.value
+
+
+class Var(Expr):
+    """Reference to a local variable, parameter, or global scalar."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "Var(%r)" % self.name
+
+
+class Index(Expr):
+    """Load from a global array: ``array[index]``."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array, index):
+        self.array = array
+        self.index = as_expr(index)
+
+    def __repr__(self):
+        return "Index(%r, %r)" % (self.array, self.index)
+
+
+class Deref(Expr):
+    """Load from a computed absolute address: ``mem[addr]``."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = as_expr(addr)
+
+    def __repr__(self):
+        return "Deref(%r)" % (self.addr,)
+
+
+class AddrOf(Expr):
+    """The base address of a global array (a compile-time constant)."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array):
+        self.array = array
+
+    def __repr__(self):
+        return "AddrOf(%r)" % self.array
+
+
+BINARY_OPS = frozenset({
+    "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+    "<", "<=", ">", ">=", "==", "!=", "min", "max",
+})
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in BINARY_OPS:
+            raise LangError("unknown binary operator %r" % op)
+        self.op = op
+        self.left = as_expr(left)
+        self.right = as_expr(right)
+
+    def __repr__(self):
+        return "BinOp(%r, %r, %r)" % (self.op, self.left, self.right)
+
+
+class UnaryOp(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        if op not in ("-", "!"):
+            raise LangError("unknown unary operator %r" % op)
+        self.op = op
+        self.operand = as_expr(operand)
+
+    def __repr__(self):
+        return "UnaryOp(%r, %r)" % (self.op, self.operand)
+
+
+class CallExpr(Expr):
+    """Call a function by name; its return value is the expression."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func, *args):
+        self.func = func
+        self.args = tuple(as_expr(a) for a in args)
+
+    def __repr__(self):
+        return "CallExpr(%r, %s)" % (self.func,
+                                     ", ".join(map(repr, self.args)))
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    """``name = expr`` for a local or global scalar."""
+
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name, expr):
+        self.name = name
+        self.expr = as_expr(expr)
+
+    def __repr__(self):
+        return "Assign(%r, %r)" % (self.name, self.expr)
+
+
+class Store(Stmt):
+    """``array[index] = expr`` for a global array."""
+
+    __slots__ = ("array", "index", "expr")
+
+    def __init__(self, array, index, expr):
+        self.array = array
+        self.index = as_expr(index)
+        self.expr = as_expr(expr)
+
+    def __repr__(self):
+        return "Store(%r, %r, %r)" % (self.array, self.index, self.expr)
+
+
+class Poke(Stmt):
+    """``mem[addr] = expr`` through a computed absolute address."""
+
+    __slots__ = ("addr", "expr")
+
+    def __init__(self, addr, expr):
+        self.addr = as_expr(addr)
+        self.expr = as_expr(expr)
+
+    def __repr__(self):
+        return "Poke(%r, %r)" % (self.addr, self.expr)
+
+
+def _as_body(stmts):
+    if isinstance(stmts, Stmt):
+        return [stmts]
+    body = list(stmts)
+    for stmt in body:
+        if not isinstance(stmt, Stmt):
+            raise LangError("statement expected, got %r" % (stmt,))
+    return body
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse=()):
+        self.cond = as_expr(cond)
+        self.then = _as_body(then)
+        self.orelse = _as_body(orelse)
+
+    def __repr__(self):
+        return "If(%r, %r, %r)" % (self.cond, self.then, self.orelse)
+
+
+class While(Stmt):
+    """Bottom-tested while loop (the compiler rotates it, so the closing
+    backward branch is the loop's conditional test, as optimizing
+    compilers emit)."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body):
+        self.cond = as_expr(cond)
+        self.body = _as_body(body)
+
+    def __repr__(self):
+        return "While(%r, %r)" % (self.cond, self.body)
+
+
+class DoWhile(Stmt):
+    """Execute body, repeat while cond holds (no guard test)."""
+
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond):
+        self.body = _as_body(body)
+        self.cond = as_expr(cond)
+
+    def __repr__(self):
+        return "DoWhile(%r, %r)" % (self.body, self.cond)
+
+
+class For(Stmt):
+    """``for var in range(start, stop, step)`` with a constant step."""
+
+    __slots__ = ("var", "start", "stop", "step", "body")
+
+    def __init__(self, var, start, stop, body, step=1):
+        if not isinstance(step, int) or step == 0:
+            raise LangError("For step must be a non-zero int constant")
+        self.var = var
+        self.start = as_expr(start)
+        self.stop = as_expr(stop)
+        self.step = step
+        self.body = _as_body(body)
+
+    def __repr__(self):
+        return "For(%r, %r, %r, step=%d)" % (self.var, self.start,
+                                             self.stop, self.step)
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Break()"
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Continue()"
+
+
+class Return(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr=None):
+        self.expr = None if expr is None else as_expr(expr)
+
+    def __repr__(self):
+        return "Return(%r)" % (self.expr,)
+
+
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effects (typically a call)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = as_expr(expr)
+
+    def __repr__(self):
+        return "ExprStmt(%r)" % (self.expr,)
+
+
+class Function:
+    """A function definition: ``name(params) { body }``."""
+
+    def __init__(self, name, params, body):
+        self.name = name
+        self.params = tuple(params)
+        self.body = _as_body(body)
+        seen = set()
+        for param in self.params:
+            if param in seen:
+                raise LangError("duplicate parameter %r in %r"
+                                % (param, name))
+            seen.add(param)
+
+    def __repr__(self):
+        return "Function(%r, params=%r)" % (self.name, self.params)
+
+
+class Module:
+    """A compilation unit: functions plus global arrays and scalars."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.functions = {}
+        self.arrays = {}
+        self.globals = {}
+
+    def add_function(self, function):
+        if function.name in self.functions:
+            raise LangError("duplicate function %r" % function.name)
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name, params, body):
+        """Convenience: build and register a :class:`Function`."""
+        return self.add_function(Function(name, params, body))
+
+    def array(self, name, size, init=None):
+        """Declare a global array of *size* words."""
+        if name in self.arrays or name in self.globals:
+            raise LangError("duplicate global %r" % name)
+        self.arrays[name] = (size, None if init is None else list(init))
+        return name
+
+    def scalar(self, name, init=0):
+        """Declare a global scalar variable."""
+        if name in self.arrays or name in self.globals:
+            raise LangError("duplicate global %r" % name)
+        self.globals[name] = int(init)
+        return name

@@ -1,0 +1,27 @@
+"""Dynamic trace infrastructure (records, containers, statistics, IO)."""
+
+from repro.trace.record import CFRecord, FullRecord
+from repro.trace.stream import CFTrace, FullTrace, clip, straight_line_runs
+from repro.trace.stats import CFStats, basic_block_profile, collect_cf_stats
+from repro.trace.io import (
+    dump_cf_trace,
+    dumps_cf_trace,
+    load_cf_trace,
+    loads_cf_trace,
+)
+
+__all__ = [
+    "CFRecord",
+    "FullRecord",
+    "CFTrace",
+    "FullTrace",
+    "clip",
+    "straight_line_runs",
+    "CFStats",
+    "basic_block_profile",
+    "collect_cf_stats",
+    "dump_cf_trace",
+    "dumps_cf_trace",
+    "load_cf_trace",
+    "loads_cf_trace",
+]

@@ -1,0 +1,80 @@
+"""Trace (de)serialization.
+
+Control-flow traces are written as a compact line format so experiment
+pipelines can cache the expensive interpretation step::
+
+    #cftrace v1 name=<program> total=<n> halted=<0|1>
+    <seq> <pc> <kind> <taken> <target|->
+
+Full traces are not serialized (they are cheap to regenerate at the
+scales the data-speculation study uses, and enormous on disk).
+"""
+
+import io
+import os
+
+from repro.trace.record import CFRecord
+from repro.trace.stream import CFTrace
+
+_HEADER_PREFIX = "#cftrace v1 "
+
+
+def dump_cf_trace(trace, path_or_file):
+    """Write *trace* to a path or text file object."""
+    if hasattr(path_or_file, "write"):
+        _write(trace, path_or_file)
+        return
+    tmp = "%s.tmp.%d" % (path_or_file, os.getpid())
+    with open(tmp, "w", encoding="ascii") as fh:
+        _write(trace, fh)
+    os.replace(tmp, path_or_file)
+
+
+def _write(trace, fh):
+    fh.write("%sname=%s total=%d halted=%d\n"
+             % (_HEADER_PREFIX, trace.program_name,
+                trace.total_instructions, 1 if trace.halted else 0))
+    for rec in trace.records:
+        target = "-" if rec.target is None else str(rec.target)
+        fh.write("%d %d %d %d %s\n"
+                 % (rec.seq, rec.pc, rec.kind, 1 if rec.taken else 0,
+                    target))
+
+
+def load_cf_trace(path_or_file):
+    """Read a trace written by :func:`dump_cf_trace`."""
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(path_or_file, "r", encoding="ascii") as fh:
+        return _read(fh)
+
+
+def _read(fh):
+    header = fh.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise ValueError("not a cftrace v1 file")
+    fields = dict(part.split("=", 1)
+                  for part in header[len(_HEADER_PREFIX):].split())
+    records = []
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        seq, pc, kind, taken, target = line.split()
+        records.append(CFRecord(int(seq), int(pc), int(kind),
+                                taken == "1",
+                                None if target == "-" else int(target)))
+    return CFTrace(records=records, total_instructions=int(fields["total"]),
+                   halted=fields["halted"] == "1",
+                   program_name=fields.get("name", "program"))
+
+
+def dumps_cf_trace(trace):
+    """Serialize to a string (round-trip helper for tests)."""
+    buf = io.StringIO()
+    _write(trace, buf)
+    return buf.getvalue()
+
+
+def loads_cf_trace(text):
+    return _read(io.StringIO(text))

@@ -1,0 +1,71 @@
+"""Dynamic trace records.
+
+Two granularities are produced by :mod:`repro.cpu.tracer`:
+
+* **Control-flow traces** (:class:`CFRecord`) carry one record per executed
+  control-transfer instruction.  Straight-line instructions are implicit:
+  between two consecutive records the machine executed exactly
+  ``next.seq - prev.seq - 1`` non-control instructions.  This is all the
+  loop detector and the thread-speculation engine need, and it keeps
+  million-instruction traces affordable.
+* **Full traces** (:class:`FullRecord`) carry one record per executed
+  instruction including register and memory accesses with their values;
+  the data-speculation study (paper section 4) consumes these.
+
+Both are named tuples so they stay cheap to allocate while remaining
+self-describing.
+"""
+
+from typing import NamedTuple, Optional, Tuple
+
+from repro.isa.instructions import InstrKind
+
+
+class CFRecord(NamedTuple):
+    """One executed control-transfer instruction."""
+
+    seq: int                 #: global dynamic instruction index (0-based)
+    pc: int                  #: instruction address
+    kind: int                #: :class:`InstrKind` value
+    taken: bool              #: True for taken branches and all jumps
+    target: Optional[int]    #: destination when taken (None for halt)
+
+    @property
+    def fallthrough(self):
+        """Address executed next when the transfer is not taken."""
+        return self.pc + 1
+
+    @property
+    def next_pc(self):
+        return self.target if self.taken else self.pc + 1
+
+    @property
+    def is_backward(self):
+        """Backward transfer per the paper: target at or before the pc."""
+        return self.taken is not None and self.target is not None \
+            and self.target <= self.pc
+
+    def describe(self):
+        return "#%d pc=%d %s %s-> %s" % (
+            self.seq, self.pc, InstrKind(self.kind).name,
+            "taken " if self.taken else "not-taken ",
+            self.target)
+
+
+class FullRecord(NamedTuple):
+    """One executed instruction with its architectural effects."""
+
+    seq: int
+    pc: int
+    kind: int
+    taken: bool
+    target: Optional[int]
+    reg_reads: Tuple          #: tuple of (register index, value read)
+    reg_writes: Tuple         #: tuple of (register index, value written)
+    mem_reads: Tuple          #: tuple of (address, value read)
+    mem_writes: Tuple         #: tuple of (address, value written)
+
+    def as_cf(self):
+        """Project to a :class:`CFRecord` (valid only for control kinds)."""
+        return CFRecord(self.seq, self.pc, self.kind, self.taken,
+                        self.target)

@@ -1,0 +1,36 @@
+"""Deterministic pseudo-random number generation for workload setup.
+
+Workload *data* is generated host-side with this RNG (seeded per
+workload), while any randomness the workload needs at run time is
+implemented inside the mini-language itself (an LCG over the simulated
+registers), keeping traces fully reproducible.
+"""
+
+_MASK = (1 << 64) - 1
+
+
+class Xorshift64:
+    """xorshift64* generator; deterministic and dependency-free."""
+
+    def __init__(self, seed=0x9E3779B97F4A7C15):
+        if seed == 0:
+            seed = 0x9E3779B97F4A7C15
+        self.state = seed & _MASK
+
+    def next_u64(self):
+        x = self.state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK
+        x ^= (x >> 27)
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high] inclusive."""
+        if high < low:
+            raise ValueError("empty range [%d, %d]" % (low, high))
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def sample_values(self, count, low, high):
+        return [self.randint(low, high) for _ in range(count)]

@@ -1,0 +1,18 @@
+"""Synthetic SPEC95-analog workload suite (see DESIGN.md section 2)."""
+
+from repro.workloads.base import Workload, all_workloads, get, names, \
+    register
+from repro.workloads.suite import SUITE_ORDER, fp_suite, integer_suite, \
+    suite
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "get",
+    "names",
+    "register",
+    "SUITE_ORDER",
+    "fp_suite",
+    "integer_suite",
+    "suite",
+]

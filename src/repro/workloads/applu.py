@@ -1,0 +1,60 @@
+"""applu-analog: SSOR solver on a small 3D grid.
+
+SPEC95 ``applu`` has the deep-and-narrow profile: only ~3.5 iterations
+per execution but average nesting 5.16 (max 7) -- five-deep loop nests
+over a tiny 3D grid with an unknowns dimension.  The analog performs
+lower/upper SSOR-like sweeps with loop nests (step, k, j, i, m).
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NK, NJ, NI, NM = 4, 4, 4, 4        # tiny trips, deep nests
+SIZE = NK * NJ * NI * NM
+
+
+def _cell():
+    k, j, i, mm = Var("k"), Var("j"), Var("i"), Var("m")
+    return ((k * NJ + j) * NI + i) * NM + mm
+
+
+@register("applu", "SSOR 3D sweeps; ~3-4 iterations/execution, nesting "
+          "depth 5, tiny trip counts", "fp")
+def build(scale=1):
+    m = Module("applu")
+    m.array("u", SIZE, init=table_init(SIZE, seed=41, low=1, high=60))
+    m.array("rsd", SIZE, init=table_init(SIZE, seed=43, low=0, high=30))
+
+    cell = _cell()
+    lower = [
+        Assign("acc", Index("rsd", cell)),
+        For("l", 0, 3, [
+            Assign("acc", Var("acc")
+                   + Index("u", (cell + Var("l")) % SIZE) // 3),
+        ]),
+        Store("rsd", cell, Var("acc")),
+    ]
+    upper = [
+        Assign("acc", Index("u", cell)),
+        For("l", 0, 3, [
+            Assign("acc", Var("acc")
+                   + Index("rsd", (cell + Var("l") * NM) % SIZE) // 3),
+        ]),
+        Store("u", cell, (Var("acc") + Index("rsd", cell)) // 2),
+    ]
+
+    def nest(body):
+        return For("k", 0, NK, [
+            For("j", 0, NJ, [
+                For("i", 0, NI, [
+                    For("m", 0, NM, body),
+                ]),
+            ]),
+        ])
+
+    m.function("main", [], [
+        For("step", 0, 12 * scale, [nest(lower), nest(upper)]),
+        Return(Index("u", 0)),
+    ])
+    return m

@@ -1,0 +1,47 @@
+"""apsi-analog: mesoscale atmospheric transport.
+
+SPEC95 ``apsi``: ~10.8 iterations per execution at nesting ~3 (max 5).
+The analog advects a scalar field over a (k, j, i) box with ~10-trip
+loops per dimension plus a vertical diffusion pass.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NK, NJ, NI = 8, 10, 10
+SIZE = NK * NJ * NI
+
+
+@register("apsi", "atmospheric transport; ~10 iterations/execution, "
+          "nesting 3-4", "fp")
+def build(scale=1):
+    m = Module("apsi")
+    m.array("q", SIZE, init=table_init(SIZE, seed=47, low=0, high=80))
+    m.array("w", SIZE, init=table_init(SIZE, seed=53, low=1, high=9))
+
+    k, j, i = Var("k"), Var("j"), Var("i")
+    cell = (k * NJ + j) * NI + i
+
+    advect = [
+        Assign("up", Index("q", (cell - NI * NJ + SIZE) % SIZE)),
+        Assign("dn", Index("q", (cell + NI * NJ) % SIZE)),
+        Store("q", cell,
+              (Index("q", cell) * 6 + Var("up") + Var("dn")
+               + Index("w", cell)) // 8),
+    ]
+    diffuse = [
+        Store("q", cell,
+              (Index("q", cell) * 3
+               + Index("q", (cell + 1) % SIZE)) // 4),
+    ]
+
+    m.function("main", [], [
+        For("t", 0, 10 * scale, [
+            For("k", 0, NK, [For("j", 0, NJ, [For("i", 0, NI, advect)])]),
+            For("k", 1, NK - 1, [For("j", 0, NJ,
+                                     [For("i", 0, NI, diffuse)])]),
+        ]),
+        Return(Index("q", SIZE // 2)),
+    ])
+    return m

@@ -1,0 +1,84 @@
+"""compress-analog: LZW-style dictionary compression.
+
+SPEC95 ``compress``: ~6.3 iterations per execution at nesting ~2.5, with
+data-dependent hash-probe loops -- and, remarkably, a 100% control
+speculation hit ratio in the paper's Table 2 (its dominant loops have
+very stable trip behaviour).  The analog scans a pseudo-random byte
+stream, maintaining a (prefix, char) hash dictionary with linear-probe
+collision loops.
+"""
+
+from repro.lang import (
+    Assign,
+    Break,
+    For,
+    If,
+    Index,
+    Module,
+    Return,
+    Store,
+    Var,
+    While,
+)
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+INPUT_LEN = 700
+HSIZE = 512          # power of two for cheap masking
+FIRST_FREE = 257
+
+
+@register("compress", "LZW dictionary compression; data-dependent probe "
+          "loops, ~6 iterations/execution, nesting 2-3", "int")
+def build(scale=1):
+    m = Module("compress")
+    # A byte stream with repeated digraphs so the dictionary gets hits.
+    stream = table_init(INPUT_LEN, seed=97, low=0, high=30)
+    m.array("input", INPUT_LEN, init=stream)
+    m.array("hkey", HSIZE)        # 0 = empty, else key + 1
+    m.array("hcode", HSIZE)
+    m.scalar("next_code", FIRST_FREE)
+    m.scalar("out_count", 0)
+
+    i = Var("i")
+
+    scan_body = [
+        Assign("c", Index("input", i)),
+        Assign("key", Var("prefix") * 256 + Var("c") + 1),
+        Assign("h", (Var("key") * 2654435761) % HSIZE),
+        Assign("found", 0 - 1),
+        # Linear-probe collision loop: trips depend on table pressure.
+        While(Index("hkey", Var("h")) > 0, [
+            If(Index("hkey", Var("h")).eq(Var("key")), [
+                Assign("found", Index("hcode", Var("h"))),
+                Break(),
+            ]),
+            Assign("h", (Var("h") + 1) % HSIZE),
+        ]),
+        If(Var("found") >= 0, [
+            Assign("prefix", Var("found")),
+        ], [
+            Assign("out_count", Var("out_count") + 1),
+            If(Var("next_code") < FIRST_FREE + HSIZE // 2, [
+                Store("hkey", Var("h"), Var("key")),
+                Store("hcode", Var("h"), Var("next_code")),
+                Assign("next_code", Var("next_code") + 1),
+            ]),
+            Assign("prefix", Var("c")),
+        ]),
+    ]
+
+    reset_tables = [
+        For("r", 0, HSIZE, [Store("hkey", Var("r"), 0)]),
+        Assign("next_code", FIRST_FREE),
+    ]
+
+    m.function("main", [], [
+        For("pass_", 0, 6 * scale, reset_tables + [
+            Assign("prefix", Index("input", 0)),
+            For("i", 1, INPUT_LEN, scan_body),
+            Assign("out_count", Var("out_count") + 1),
+        ]),
+        Return(Var("out_count")),
+    ])
+    return m

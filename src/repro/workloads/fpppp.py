@@ -1,0 +1,67 @@
+"""fpppp-analog: quantum-chemistry two-electron integrals.
+
+SPEC95 ``fpppp`` is the suite's giant-basic-block program: only ~3
+iterations per execution but ~3200 instructions per iteration (Table 1),
+with deep nesting (6.7 avg / 9 max).  The paper's Table 2 shows its
+speculated threads take ~190k instructions to verify -- a direct
+consequence of those enormous iteration bodies.
+
+The analog generates a very long straight-line arithmetic block (built
+programmatically) inside few-trip nested loops over shell quadruples.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NSHELL = 3          # trips per shell loop: few iterations per execution
+BLOCK = 100         # statements in the generated integral block
+
+
+def _integral_block():
+    """A long dependence chain mimicking unrolled integral evaluation."""
+    stmts = [Assign("g0", Var("base") + 1), Assign("g1", Var("base") * 2)]
+    for k in range(BLOCK):
+        a = Var("g%d" % (k % 16)) if k >= 16 else Var("g%d" % (k % 2))
+        b = Var("g%d" % ((k + 7) % 16)) if k >= 16 else Var("g0")
+        target = "g%d" % ((k + 2) % 16)
+        stmts.append(Assign(target, (a * 3 + b) % 65521))
+    total = Var("g0")
+    for r in range(1, 16):
+        total = total + Var("g%d" % r)
+    stmts.append(Assign("fock", Var("fock") + total))
+    return stmts
+
+
+@register("fpppp", "two-electron integrals; ~3 iterations/execution with "
+          "huge straight-line bodies, deep nesting", "fp",
+          default_max_instructions=3_000_000)
+def build(scale=1):
+    m = Module("fpppp")
+    m.array("basis", 64, init=table_init(64, seed=59, low=1, high=200))
+    m.scalar("fock", 0)
+
+    si, sj, sk, sl, sm = (Var("si"), Var("sj"), Var("sk"), Var("sl"),
+                          Var("sm"))
+    inner = ([Assign("base",
+                     Index("basis",
+                           (si * 81 + sj * 27 + sk * 9 + sl * 3 + sm)
+                           % 64))]
+             + _integral_block())
+
+    m.function("main", [], [
+        For("pass_", 0, 6 * scale, [
+            For("si", 0, NSHELL - 1, [
+                For("sj", 0, NSHELL, [
+                    For("sk", 0, NSHELL, [
+                        For("sl", 0, NSHELL, [
+                            For("sm", 0, NSHELL, inner),
+                        ]),
+                    ]),
+                ]),
+            ]),
+            Store("basis", Var("pass_") % 64, Var("fock") % 251),
+        ]),
+        Return(Var("fock")),
+    ])
+    return m

@@ -1,0 +1,180 @@
+"""gcc-analog: optimizing-compiler passes over a synthetic IR.
+
+SPEC95 ``gcc`` dominates Table 1's *static* loop count (1229 loops) with
+short executions (~5.3 iterations) and branchy bodies, and it is one of
+the harder programs for the paper's speculation (76% hit ratio).  The
+analog runs a pipeline of passes (lexer, constant folding, dead-code
+elimination, common-subexpression scan, register allocation, emission)
+over pseudo-random three-address IR, each pass containing several small
+data-dependent loops -- many distinct static loops, each short-lived.
+"""
+
+from repro.lang import (
+    Assign,
+    Break,
+    CallExpr,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    Module,
+    Return,
+    Store,
+    Var,
+    While,
+)
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NIR = 64            # IR instructions per function
+NFUNCS = 5          # functions compiled per pass-pipeline run
+NREGS = 8
+
+
+@register("gcc", "compiler pass pipeline; many static loops, short "
+          "executions, branchy bodies", "int")
+def build(scale=1):
+    m = Module("gcc")
+    # IR: op in [0,6), dst/src1/src2 registers, plus a constant flag.
+    m.array("ir_op", NIR, init=table_init(NIR, seed=103, low=0, high=5))
+    m.array("ir_dst", NIR, init=table_init(NIR, seed=107, low=0,
+                                           high=NREGS - 1))
+    m.array("ir_s1", NIR, init=table_init(NIR, seed=109, low=0,
+                                          high=NREGS - 1))
+    m.array("ir_s2", NIR, init=table_init(NIR, seed=113, low=0,
+                                          high=NREGS - 1))
+    m.array("ir_const", NIR, init=table_init(NIR, seed=127, low=0,
+                                             high=1))
+    m.array("live", NREGS)
+    m.array("value", NREGS)
+    m.array("emitted", NIR)
+    m.scalar("work", 0)
+
+    i, r = Var("i"), Var("r")
+
+    m.function("lex", ["length"], [
+        # Token scan: short inner loop per token (identifier length).
+        Assign("tokens", 0),
+        Assign("ii", 0),
+        While(Var("ii") < Var("length"), [
+            Assign("tlen", Index("ir_op", Var("ii") % NIR) + 1),
+            Assign("k", 0),
+            While(Var("k") < Var("tlen"), [
+                Assign("work", Var("work") + 1),
+                Assign("k", Var("k") + 1),
+            ]),
+            Assign("ii", Var("ii") + Var("tlen")),
+            Assign("tokens", Var("tokens") + 1),
+        ]),
+        Return(Var("tokens")),
+    ])
+
+    m.function("fold_constants", [], [
+        Assign("folds", 0),
+        For("i", 0, NIR, [
+            If(Index("ir_const", i).eq(1), [
+                If(Index("ir_op", i) < 3, [
+                    Store("ir_op", i, 0),
+                    Assign("folds", Var("folds") + 1),
+                ]),
+            ]),
+        ]),
+        Return(Var("folds")),
+    ])
+
+    m.function("eliminate_dead", [], [
+        For("r", 0, NREGS, [Store("live", r, 0)]),
+        Assign("removed", 0),
+        # Backward liveness scan.
+        For("i", NIR - 1, -1, [
+            If(Index("live", Index("ir_dst", i)).eq(0)
+               & Index("ir_op", i).ne(5), [
+                Assign("removed", Var("removed") + 1),
+            ], [
+                Store("live", Index("ir_s1", i), 1),
+                Store("live", Index("ir_s2", i), 1),
+            ]),
+        ], step=-1),
+        Return(Var("removed")),
+    ])
+
+    m.function("scan_cse", [], [
+        Assign("hits", 0),
+        For("i", 0, NIR, [
+            Assign("sig", Index("ir_op", i) * 64
+                   + Index("ir_s1", i) * 8 + Index("ir_s2", i)),
+            # Short window scan for a matching earlier expression.
+            Assign("j", i - 6),
+            If(Var("j") < 0, [Assign("j", 0)]),
+            While(Var("j") < i, [
+                Assign("sig2", Index("ir_op", Var("j")) * 64
+                       + Index("ir_s1", Var("j")) * 8
+                       + Index("ir_s2", Var("j"))),
+                If(Var("sig2").eq(Var("sig")), [
+                    Assign("hits", Var("hits") + 1),
+                    Break(),
+                ]),
+                Assign("j", Var("j") + 1),
+            ]),
+        ]),
+        Return(Var("hits")),
+    ])
+
+    m.function("allocate_registers", [], [
+        Assign("spills", 0),
+        For("i", 0, NIR, [
+            Assign("want", Index("ir_dst", i)),
+            # Probe for a free value slot, spilling on conflict.
+            Assign("tries", 0),
+            While(Index("value", (Var("want") + Var("tries")) % NREGS)
+                  > Var("want"), [
+                Assign("tries", Var("tries") + 1),
+                If(Var("tries") >= NREGS, [
+                    Assign("spills", Var("spills") + 1),
+                    Break(),
+                ]),
+            ]),
+            Store("value", (Var("want") + Var("tries")) % NREGS,
+                  Index("ir_op", i)),
+        ]),
+        Return(Var("spills")),
+    ])
+
+    m.function("emit", [], [
+        Assign("n", 0),
+        For("i", 0, NIR, [
+            If(Index("ir_op", i).ne(0), [
+                Store("emitted", Var("n"), Index("ir_op", i) * 1000
+                      + Index("ir_dst", i)),
+                Assign("n", Var("n") + 1),
+            ]),
+        ]),
+        Return(Var("n")),
+    ])
+
+    m.function("compile_function", ["f"], [
+        Assign("work", Var("work")
+               + CallExpr("lex", 40 + Var("f") * 9)),
+        Assign("work", Var("work") + CallExpr("fold_constants")),
+        Assign("work", Var("work") + CallExpr("eliminate_dead")),
+        Assign("work", Var("work") + CallExpr("scan_cse")),
+        Assign("work", Var("work") + CallExpr("allocate_registers")),
+        Assign("work", Var("work") + CallExpr("emit")),
+        Return(Var("work")),
+    ])
+
+    m.function("main", [], [
+        For("pass_", 0, 7 * scale, [
+            For("f", 0, NFUNCS, [
+                ExprStmt(CallExpr("compile_function", Var("f"))),
+                # Mutate the IR between functions so loops see varied,
+                # data-dependent trip counts.
+                Store("ir_op", (Var("f") * 17 + Var("pass_")) % NIR,
+                      (Var("f") + Var("pass_")) % 6),
+                Store("ir_const", (Var("f") * 31) % NIR,
+                      Var("pass_") % 2),
+            ]),
+        ]),
+        Return(Var("work")),
+    ])
+    return m

@@ -1,0 +1,107 @@
+"""go-analog: game-tree search with board evaluation.
+
+SPEC95 ``go`` has the deepest nesting in Table 1 (max 11) from loops
+inside recursive search, short executions (~3.8 iterations) and highly
+irregular branching -- the paper's hardest program for speculation (go's
+TPC is the suite minimum).  The analog runs depth-limited negamax over a
+small board: a move loop per recursion level, a neighbour-evaluation
+loop per move, and alpha-beta-style pruning breaks.
+"""
+
+from repro.lang import (
+    Assign,
+    Break,
+    CallExpr,
+    For,
+    If,
+    Index,
+    Module,
+    Return,
+    Store,
+    Var,
+)
+from repro.workloads.base import register
+from repro.workloads.common import LCG_ADD, LCG_MASK, LCG_MUL, table_init
+
+BOARD = 36           # 6x6 board
+MOVES = 5            # branching factor
+DEPTH = 4
+
+
+@register("go", "negamax game-tree search; loops inside recursion, deep "
+          "CLS nesting, irregular branching", "int")
+def build(scale=1):
+    m = Module("go")
+    m.array("board", BOARD, init=table_init(BOARD, seed=131, low=0,
+                                            high=2))
+    m.scalar("rng", 4099)
+    m.scalar("nodes", 0)
+
+    mv, nb = Var("mv"), Var("nb")
+
+    m.function("evaluate", ["cell"], [
+        # Score a cell by its 4-neighbourhood (wrapping).
+        Assign("score", 0),
+        For("nb", 0, 4, [
+            Assign("other",
+                   (Var("cell") + Index("board",
+                                        (Var("cell") + Var("nb") * 7)
+                                        % BOARD)
+                    + Var("nb")) % BOARD),
+            Assign("score", Var("score")
+                   + Index("board", Var("other"))),
+        ]),
+        Return(Var("score") - 2),
+    ])
+
+    def ply_body(ply):
+        """Move loop for one search ply.  Each ply is a *distinct*
+        routine (as in go's staged move generators), so each recursion
+        level contributes its own static loop and the loops stack in the
+        CLS -- the source of go's record nesting depth in Table 1."""
+        if ply >= DEPTH:
+            return [Assign("nodes", Var("nodes") + 1),
+                    Return(CallExpr("evaluate", Var("cell")))]
+        recurse = CallExpr("ply%d" % (ply + 1), Var("target"),
+                           0 - Var("best"))
+        return [
+            Assign("nodes", Var("nodes") + 1),
+            Assign("best", -9999),
+            For("mv", 0, MOVES, [
+                Assign("rng", (Var("rng") * LCG_MUL + LCG_ADD)
+                       & LCG_MASK),
+                Assign("target", (Var("cell") + Var("mv") * 5
+                                  + Var("rng") % 3) % BOARD),
+                # Occupied cells are skipped: irregular per-move control.
+                If(Index("board", Var("target")) > 1, [
+                    If(Var("mv") % 2, [Break()]),
+                ], [
+                    Store("board", Var("target"),
+                          Index("board", Var("target")) + 1),
+                    Assign("sc", 0 - recurse),
+                    Store("board", Var("target"),
+                          Index("board", Var("target")) - 1),
+                    If(Var("sc") > Var("best"),
+                       [Assign("best", Var("sc"))]),
+                    If(Var("best") >= Var("alpha") + 6, [Break()]),
+                ]),
+            ]),
+            Return(Var("best")),
+        ]
+
+    for ply in range(DEPTH, -1, -1):
+        m.function("ply%d" % ply, ["cell", "alpha"], ply_body(ply))
+
+    m.function("main", [], [
+        Assign("total", 0),
+        For("game", 0, 8 * scale, [
+            For("root", 0, 4, [
+                Assign("total", Var("total")
+                       + CallExpr("ply0",
+                                  (Var("root") * 9 + Var("game"))
+                                  % BOARD, -9999)),
+            ]),
+        ]),
+        Return(Var("nodes")),
+    ])
+    return m

@@ -1,0 +1,67 @@
+"""ijpeg-analog: block-transform image compression.
+
+SPEC95 ``ijpeg``: ~21 iterations per execution at deep nesting (6.4 avg,
+9 max) -- 8x8 block transforms inside block-row/column loops inside a
+pass loop.  The analog runs a DCT-like separable transform, quantization
+and zig-zag energy scan over an image of 8x8 blocks.
+"""
+
+from repro.lang import Assign, For, If, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+W = 24               # image side: 4x4 blocks of 8x8
+BLOCKS = W // 8
+
+
+@register("ijpeg", "8x8 block transforms; nesting depth 5-6, trips of "
+          "8, regular inner control", "int")
+def build(scale=1):
+    m = Module("ijpeg")
+    m.array("image", W * W, init=table_init(W * W, seed=137, low=0,
+                                            high=255))
+    m.array("coef", W * W)
+    m.array("quant", 64, init=[1 + (u + v) for u in range(8)
+                               for v in range(8)])
+    m.scalar("energy", 0)
+
+    by, bx, u, x, y = Var("by"), Var("bx"), Var("u"), Var("x"), Var("y")
+    base = (by * 8) * W + bx * 8
+
+    # Row transform: coef[u][x] accumulates image[y][x] * basis(u, y).
+    row_pass = For("u", 0, 8, [
+        For("x", 0, 8, [
+            Assign("acc", 0),
+            For("y", 0, 8, [
+                Assign("basis", ((u * y * 3) % 7) - 3),
+                Assign("acc", Var("acc")
+                       + Index("image", base + y * W + x) * Var("basis")),
+            ]),
+            Store("coef", base + u * W + x, Var("acc") // 8),
+        ]),
+    ])
+    quantize = For("u", 0, 8, [
+        For("x", 0, 8, [
+            Assign("q", Index("coef", base + u * W + x)
+                   // Index("quant", u * 8 + x)),
+            If(Var("q") < 0, [Assign("q", 0 - Var("q"))]),
+            Store("coef", base + u * W + x, Var("q")),
+            Assign("energy", Var("energy") + Var("q")),
+        ]),
+    ])
+
+    m.function("main", [], [
+        For("pass_", 0, 7 * scale, [
+            For("by", 0, BLOCKS, [
+                For("bx", 0, BLOCKS, [row_pass, quantize]),
+            ]),
+            # Smooth the image between passes (new data, same shape).
+            For("x", 0, W * W, [
+                Store("image", Var("x"),
+                      (Index("image", Var("x")) * 3
+                       + Index("coef", Var("x"))) % 256),
+            ]),
+        ]),
+        Return(Var("energy")),
+    ])
+    return m

@@ -1,0 +1,58 @@
+"""su2cor-analog: quark-gluon lattice Monte Carlo sweeps.
+
+SPEC95 ``su2cor``: very high trip counts (~51 iterations per execution)
+at nesting ~3.5, with in-loop randomness.  The analog sweeps a 1D
+lattice of links with an in-language LCG supplying update noise, plus a
+correlation-measurement pass.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import LCG_ADD, LCG_MASK, LCG_MUL, table_init
+
+SITES = 56
+MU = 4              # link directions per site
+
+
+@register("su2cor", "lattice Monte Carlo; ~50 iterations/execution, "
+          "nesting 3, embedded PRNG", "fp")
+def build(scale=1):
+    m = Module("su2cor")
+    m.array("links", SITES * MU,
+            init=table_init(SITES * MU, seed=71, low=1, high=255))
+    m.array("corr", SITES)
+    m.scalar("rng", 991)
+
+    s = Var("s")
+
+    def link(d):
+        return s * MU + d
+
+    # The MU direction dimension is unrolled, as a vectorizing Fortran
+    # compiler would leave only the long site loops: high trip counts
+    # per execution, the su2cor signature.
+    update = [
+        Assign("rng", (Var("rng") * LCG_MUL + LCG_ADD) & LCG_MASK),
+        Assign("noise", Var("rng") % 17),
+    ]
+    for d in range(MU):
+        update.append(Store(
+            "links", link(d),
+            ((Index("links", link(d)) * 15
+              + Var("noise") + d) // 16) | 1))
+
+    measure = [Assign("acc", 0)]
+    for d in range(MU):
+        measure.append(Assign(
+            "acc", Var("acc") + Index("links", link(d))
+            * Index("links", ((s + 1) % SITES) * MU + d)))
+    measure.append(Store("corr", s, Var("acc") % 65521))
+
+    m.function("main", [], [
+        For("sweep", 0, 12 * scale, [
+            For("s", 0, SITES, update),
+            For("s", 0, SITES, measure),
+        ]),
+        Return(Index("corr", 7)),
+    ])
+    return m

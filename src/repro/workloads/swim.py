@@ -1,0 +1,62 @@
+"""swim-analog: shallow-water finite-difference sweeps.
+
+SPEC95 ``swim`` is the suite's extreme regular-loop program: Table 1
+reports ~188 iterations per execution (by far the highest) at nesting
+~3, and the paper's Figure 6 shows it keeping 4 TUs nearly full.  The
+analog sweeps three fields (u, v, p) along a long 1D water column --
+SPEC swim's inner loops are long contiguous vector sweeps, which is the
+property that matters for loop detection -- with very high trip counts,
+shallow nesting and perfectly repeatable control flow.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+N = 190          # column length; interior sweeps run N-2 iterations
+
+
+@register("swim", "shallow-water sweeps; ~190 iterations/execution "
+          "(suite maximum), nesting 2-3, fully regular", "fp")
+def build(scale=1):
+    m = Module("swim")
+    m.array("u", N, init=table_init(N, seed=11, low=0, high=97))
+    m.array("v", N, init=table_init(N, seed=13, low=0, high=97))
+    m.array("p", N, init=table_init(N, seed=17, low=0, high=97))
+    m.array("unew", N)
+    m.array("vnew", N)
+
+    i = Var("i")
+
+    momentum = [
+        Assign("du", Index("u", i + 1) - Index("u", i - 1)
+               + Index("p", i - 1)),
+        Assign("dv", Index("v", i + 1) - Index("v", i - 1)
+               + Index("p", i + 1)),
+        Assign("cor", (Index("v", i) - Index("u", i)) // 8),
+        Assign("adv", (Index("u", i + 1) * Index("v", i - 1)) % 512),
+        Store("unew", i, (Index("u", i) * 3 + Var("du") + Var("cor")
+                          + Var("adv") // 64) // 4),
+        Store("vnew", i, (Index("v", i) * 3 + Var("dv") - Var("cor")
+                          + Var("adv") % 64) // 4),
+    ]
+    continuity = [
+        Store("u", i, Index("unew", i)),
+        Store("v", i, Index("vnew", i)),
+        Store("p", i, (Index("p", i) * 2
+                       + Index("unew", i) - Index("vnew", i)) // 2),
+    ]
+    smooth = [
+        Store("p", i, (Index("p", i - 1) + Index("p", i) * 2
+                       + Index("p", i + 1)) // 4),
+    ]
+
+    m.function("main", [], [
+        For("t", 0, 9 * scale, [
+            For("i", 1, N - 1, momentum),
+            For("i", 1, N - 1, continuity),
+            For("i", 1, N - 1, smooth),
+        ]),
+        Return(Index("p", N // 2)),
+    ])
+    return m

@@ -1,0 +1,48 @@
+"""tomcatv-analog: vectorized mesh generation.
+
+SPEC95 ``tomcatv`` iteratively relaxes mesh coordinates: ~57 iterations
+per execution, nesting ~3, near-perfect control regularity (the paper
+singles it out as almost reaching the maximum TPC).  The analog relaxes
+two coordinate planes and accumulates a residual per sweep.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import ramp_init
+
+N = 42
+
+
+@register("tomcatv", "mesh relaxation; high trip counts, nesting 3, "
+          "regular control with a residual reduction", "fp")
+def build(scale=1):
+    m = Module("tomcatv")
+    m.array("x", N * N, init=ramp_init(N * N, start=5, step=3))
+    m.array("y", N * N, init=ramp_init(N * N, start=9, step=7))
+    m.scalar("residual", 0)
+
+    j, i = Var("j"), Var("i")
+    cell = j * N + i
+
+    relax = [
+        Assign("nx", (Index("x", cell - 1) + Index("x", cell + 1)
+                      + Index("x", cell - N) + Index("x", cell + N)) // 4),
+        Assign("ny", (Index("y", cell - 1) + Index("y", cell + 1)
+                      + Index("y", cell - N) + Index("y", cell + N)) // 4),
+        Assign("rx", Var("nx") - Index("x", cell)),
+        Assign("ry", Var("ny") - Index("y", cell)),
+        Assign("residual",
+               Var("residual") + Var("rx") * Var("rx")
+               + Var("ry") * Var("ry")),
+        Store("x", cell, Var("nx")),
+        Store("y", cell, Var("ny")),
+    ]
+
+    m.function("main", [], [
+        For("it", 0, 7 * scale, [
+            Assign("residual", 0),
+            For("j", 1, N - 1, [For("i", 1, N - 1, relax)]),
+        ]),
+        Return(Var("residual")),
+    ])
+    return m

@@ -1,0 +1,57 @@
+"""turb3d-analog: turbulence simulation with FFT-style butterfly stages.
+
+SPEC95 ``turb3d``: ~4 iterations per execution at nesting ~4 (max 6) --
+the low trip counts come from logarithmic FFT stage loops.  The analog
+runs radix-2 butterfly passes over velocity planes: a stage loop whose
+span halves each trip (data-dependent While), block and element loops
+inside, plus a nonlinear term pass.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var, While
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NPTS = 32           # transform length (2^5: 5 butterfly stages)
+PLANES = 3
+
+
+@register("turb3d", "FFT butterfly stages; ~4-5 iterations/execution, "
+          "nesting 4-6", "fp")
+def build(scale=1):
+    m = Module("turb3d")
+    m.array("vel", PLANES * NPTS,
+            init=table_init(PLANES * NPTS, seed=73, low=0, high=127))
+
+    p, b, e = Var("p"), Var("b"), Var("e")
+    span = Var("span")
+    base = p * NPTS + b * (span * 2) + e
+
+    butterfly = [
+        Assign("lo", Index("vel", base)),
+        Assign("hi", Index("vel", base + span)),
+        Store("vel", base, (Var("lo") + Var("hi")) % 65521),
+        Store("vel", base + span,
+              (Var("lo") - Var("hi") + 65521) % 65521),
+    ]
+    stage = [
+        Assign("blocks", NPTS // (span * 2)),
+        For("b", 0, Var("blocks"), [For("e", 0, span, butterfly)]),
+        Assign("span", span // 2),
+    ]
+    nonlinear = [
+        Store("vel", p * NPTS + e,
+              (Index("vel", p * NPTS + e)
+               * Index("vel", ((p + 1) % PLANES) * NPTS + e)) % 251),
+    ]
+
+    m.function("main", [], [
+        For("step", 0, 6 * scale, [
+            For("p", 0, PLANES, [
+                Assign("span", NPTS // 2),
+                While(span >= 1, stage),
+            ]),
+            For("p", 0, PLANES, [For("e", 0, NPTS, nonlinear)]),
+        ]),
+        Return(Index("vel", 5)),
+    ])
+    return m

@@ -1,0 +1,118 @@
+"""vortex-analog: an object-oriented in-memory database.
+
+SPEC95 ``vortex`` manages persistent object stores: moderate iteration
+counts (~12 per execution), mid-size bodies (~216 instructions) and
+mixed regular/irregular control.  The analog maintains a record store
+(id, key, payload fields) with hash-probe lookups, insertions with
+collision chains, field-validation loops per transaction, and periodic
+range scans.
+"""
+
+from repro.lang import (
+    Assign,
+    CallExpr,
+    For,
+    If,
+    Index,
+    Module,
+    Return,
+    Store,
+    Var,
+    While,
+)
+from repro.workloads.base import register
+from repro.workloads.common import LCG_ADD, LCG_MASK, LCG_MUL
+
+NSLOTS = 256
+NFIELDS = 12         # payload words validated per touched record
+
+
+@register("vortex", "object database transactions; probe loops and "
+          "per-record validation, nesting 2-3", "int")
+def build(scale=1):
+    m = Module("vortex")
+    m.array("ids", NSLOTS)           # 0 = empty
+    m.array("keys", NSLOTS)
+    m.array("payload", NSLOTS * NFIELDS)
+    m.scalar("rng", 7321)
+    m.scalar("stored", 0)
+    m.scalar("found", 0)
+    m.scalar("checksum", 0)
+
+    f = Var("f")
+
+    m.function("probe", ["key"], [
+        # Returns slot holding key, or -(first free slot) - 1.
+        Assign("h", (Var("key") * 2654435761) % NSLOTS),
+        Assign("steps", 0),
+        While(Var("steps") < NSLOTS, [
+            If(Index("ids", Var("h")).eq(0), [
+                Return(0 - Var("h") - 1),
+            ]),
+            If(Index("keys", Var("h")).eq(Var("key")), [
+                Return(Var("h")),
+            ]),
+            Assign("h", (Var("h") + 1) % NSLOTS),
+            Assign("steps", Var("steps") + 1),
+        ]),
+        Return(0 - 1),
+    ])
+
+    m.function("validate", ["slot"], [
+        # Walk every payload field of the record with a fat body: field
+        # decode, range check and running checksum (vortex's per-object
+        # integrity checks).
+        Assign("sum", 0),
+        Assign("prev", 0),
+        For("f", 0, NFIELDS, [
+            Assign("w", Index("payload", Var("slot") * NFIELDS + f)),
+            Assign("lo", Var("w") & 255),
+            Assign("hi", (Var("w") >> 8) & 255),
+            If(Var("lo") > Var("hi"),
+               [Assign("w", Var("hi") * 256 + Var("lo"))]),
+            Assign("sum", (Var("sum") * 33 + Var("w") + Var("prev") * (f + 1))
+                   % 1000003),
+            Assign("prev", Var("w")),
+        ]),
+        Return(Var("sum") % 65521),
+    ])
+
+    m.function("insert", ["key"], [
+        Assign("slot", CallExpr("probe", Var("key"))),
+        If(Var("slot") < 0, [
+            Assign("slot", 0 - Var("slot") - 1),
+            Store("ids", Var("slot"), 1),
+            Store("keys", Var("slot"), Var("key")),
+            For("f", 0, NFIELDS, [
+                Store("payload", Var("slot") * NFIELDS + f,
+                      Var("key") * 3 + f),
+            ]),
+            Assign("stored", Var("stored") + 1),
+        ]),
+        Return(Var("slot")),
+    ])
+
+    m.function("main", [], [
+        For("txn", 0, 60 * scale, [
+            Assign("rng", (Var("rng") * LCG_MUL + LCG_ADD) & LCG_MASK),
+            Assign("key", Var("rng") % 180 + 1),
+            Assign("slot", CallExpr("insert", Var("key"))),
+            If(Var("slot") >= 0, [
+                Assign("checksum", Var("checksum")
+                       + CallExpr("validate", Var("slot"))),
+                Assign("found", Var("found") + 1),
+            ]),
+            # Periodic short range scan over a window of the store.
+            If((Var("txn") % 8).eq(0), [
+                Assign("live", 0),
+                Assign("w0", (Var("txn") * 7) % (NSLOTS - 16)),
+                For("s", 0, 16, [
+                    If(Index("ids", Var("w0") + Var("s")).ne(0), [
+                        Assign("live", Var("live") + 1),
+                    ]),
+                ]),
+            ]),
+        ]),
+        Return(Var("checksum") + Var("found")),
+    ])
+    return m

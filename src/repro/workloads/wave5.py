@@ -1,0 +1,53 @@
+"""wave5-analog: particle-in-cell plasma simulation.
+
+SPEC95 ``wave5``: high trip counts (~56 iterations per execution) at
+nesting ~3, and a 99.95% control-speculation hit ratio in the paper's
+Table 2.  The analog alternates a particle push (gather field, move,
+deposit charge) with a field solve over the grid.
+"""
+
+from repro.lang import Assign, For, Index, Module, Return, Store, Var
+from repro.workloads.base import register
+from repro.workloads.common import table_init
+
+NPART = 56
+NGRID = 48
+
+
+@register("wave5", "particle-in-cell; ~50 iterations/execution, "
+          "nesting 2-3, regular control", "fp")
+def build(scale=1):
+    m = Module("wave5")
+    m.array("pos", NPART, init=table_init(NPART, seed=79, low=0,
+                                          high=NGRID - 1))
+    m.array("vel", NPART, init=table_init(NPART, seed=83, low=0, high=9))
+    m.array("field", NGRID, init=table_init(NGRID, seed=89, low=0,
+                                            high=40))
+    m.array("charge", NGRID)
+
+    pp, g = Var("pp"), Var("g")
+
+    push = [
+        Assign("cell", Index("pos", pp) % NGRID),
+        Assign("f", Index("field", Var("cell"))),
+        Assign("nv", (Index("vel", pp) * 7 + Var("f")) // 8),
+        Store("vel", pp, Var("nv")),
+        Store("pos", pp, (Index("pos", pp) + Var("nv")) % NGRID),
+        Store("charge", Var("cell"), Index("charge", Var("cell")) + 1),
+    ]
+    solve = [
+        Store("field", g,
+              (Index("field", (g - 1 + NGRID) % NGRID)
+               + Index("field", (g + 1) % NGRID)
+               + Index("charge", g) * 2) // 4),
+        Store("charge", g, 0),
+    ]
+
+    m.function("main", [], [
+        For("step", 0, 14 * scale, [
+            For("pp", 0, NPART, push),
+            For("g", 0, NGRID, solve),
+        ]),
+        Return(Index("field", 3)),
+    ])
+    return m

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion and produces
+its expected headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "TPC" in out
+    assert "detected" in out
+
+
+def test_loop_profiler():
+    out = run_example("loop_profiler.py", "compress")
+    assert "hottest loops" in out
+    assert "#iter/exec" in out
+
+
+def test_loop_profiler_help():
+    out = run_example("loop_profiler.py", "--help")
+    assert "workloads:" in out
+
+
+def test_policy_explorer():
+    out = run_example("policy_explorer.py", "mgrid")
+    assert "STR(3)" in out
+    assert "idealized" in out
+
+
+def test_value_prediction():
+    out = run_example("value_prediction.py", "wave5")
+    assert "live-in register instances" in out
+    assert "same path" in out
+
+
+def test_custom_program():
+    out = run_example("custom_program.py")
+    assert "primes=78" in out
+    assert "TPC" in out
+
+
+@pytest.mark.parametrize("name", ["loop_profiler.py",
+                                  "policy_explorer.py",
+                                  "value_prediction.py"])
+def test_examples_reject_unknown_workload(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), "nosuch"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode != 0
