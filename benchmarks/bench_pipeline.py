@@ -1,0 +1,78 @@
+"""Pipeline benchmarks: cold vs warm cache, 1 job vs N jobs.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py
+--benchmark-only -q``.  A four-workload subset at a reduced instruction
+budget keeps one round affordable while still spanning regular (swim,
+tomcatv) and irregular (go, gcc) control flow.
+
+Expected shape: ``warm_cache`` beats ``cold_cache`` by roughly the
+interpretation cost (warm runs only parse and detect), and ``jobs2``
+approaches ``jobs1 / min(2, cores)`` on multi-core hosts (on a 1-core
+host it only measures pool overhead).
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.pipeline import PipelineConfig, SimulationSession
+
+SUBSET = ("swim", "go", "tomcatv", "gcc")
+LIMIT = 200_000
+
+
+def _run(jobs, cache_dir):
+    session = SimulationSession(PipelineConfig(
+        workloads=SUBSET, max_instructions=LIMIT, jobs=jobs,
+        cache_dir=cache_dir))
+    return session.indexes()
+
+
+@pytest.fixture()
+def fresh_cache_dir():
+    path = tempfile.mkdtemp(prefix="bench-trace-cache-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@pytest.fixture()
+def warm_cache_dir(fresh_cache_dir):
+    _run(jobs=1, cache_dir=fresh_cache_dir)
+    return fresh_cache_dir
+
+
+def test_pipeline_cold_cache(benchmark, fresh_cache_dir):
+    """Trace + store + detect, nothing reusable on disk."""
+    session = benchmark.pedantic(
+        lambda: _run(jobs=1, cache_dir=fresh_cache_dir),
+        rounds=1, iterations=1)
+    assert len(session) == len(SUBSET)
+
+
+def test_pipeline_warm_cache(benchmark, warm_cache_dir):
+    """Every trace served from the on-disk cache; no interpretation."""
+    def warm():
+        session = SimulationSession(PipelineConfig(
+            workloads=SUBSET, max_instructions=LIMIT, jobs=1,
+            cache_dir=warm_cache_dir))
+        indexes = session.indexes()
+        assert session.stats.traced == 0
+        assert session.stats.cache_hits == len(SUBSET)
+        return indexes
+
+    assert len(benchmark.pedantic(warm, rounds=1, iterations=1)) \
+        == len(SUBSET)
+
+
+def test_pipeline_jobs1(benchmark):
+    """Sequential in-process tracing, no cache (the old SuiteRunner)."""
+    assert len(benchmark.pedantic(lambda: _run(jobs=1, cache_dir=None),
+                                  rounds=1, iterations=1)) == len(SUBSET)
+
+
+def test_pipeline_jobs2(benchmark, fresh_cache_dir):
+    """Two tracer processes fanning out over the subset."""
+    assert len(benchmark.pedantic(
+        lambda: _run(jobs=2, cache_dir=fresh_cache_dir),
+        rounds=1, iterations=1)) == len(SUBSET)

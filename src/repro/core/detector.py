@@ -115,13 +115,28 @@ class LoopDetector:
             self._absorb(events)
         return events
 
-    def run(self, cf_trace):
-        """Convenience: feed an entire trace and return a LoopIndex."""
+    def run(self, trace, total_instructions=None):
+        """Convenience: feed an entire trace and return a LoopIndex.
+
+        *trace* is either a :class:`~repro.trace.stream.CFTrace` or any
+        iterable of CF records — e.g. the streaming record iterator of
+        :func:`repro.trace.io.open_cf_records` — in which case
+        *total_instructions* must be given explicitly (detection never
+        needs the full record list in memory).
+        """
+        records = getattr(trace, "records", trace)
+        if total_instructions is None:
+            try:
+                total_instructions = trace.total_instructions
+            except AttributeError:
+                raise TypeError(
+                    "run() needs total_instructions when fed a plain "
+                    "record iterable instead of a CFTrace") from None
         feed = self.feed
-        for record in cf_trace.records:
+        for record in records:
             feed(record)
-        self.finish(cf_trace.total_instructions)
-        return self.index(cf_trace.total_instructions)
+        self.finish(total_instructions)
+        return self.index(total_instructions)
 
     def index(self, total_instructions):
         return LoopIndex(self.executions, self.events, total_instructions,

@@ -3,6 +3,7 @@
 from repro.cpu.machine import Machine, STACK_TOP, pack_program, wrap64
 from repro.cpu.memory import Memory
 from repro.cpu.tracer import (
+    ChunkedCFTracer,
     TraceBudgetExceeded,
     trace_control_flow,
     trace_full,
@@ -14,6 +15,7 @@ __all__ = [
     "STACK_TOP",
     "pack_program",
     "wrap64",
+    "ChunkedCFTracer",
     "TraceBudgetExceeded",
     "trace_control_flow",
     "trace_full",

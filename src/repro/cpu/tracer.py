@@ -165,6 +165,172 @@ def trace_control_flow(program, max_instructions=5_000_000,
                    program_name=program.name)
 
 
+class ChunkedCFTracer:
+    """Control-flow tracing with bounded-memory chunked emission.
+
+    Same dispatch as :func:`trace_control_flow` (the duplication is this
+    module's stated price of speed; equivalence is pinned by tests), but
+    records are handed out in lists of at most ``chunk_size`` via
+    :meth:`chunks` so a consumer — the on-disk trace cache writer, or a
+    :class:`~repro.core.detector.LoopDetector` fed record by record —
+    never holds the whole trace.
+
+    ``total_instructions`` and ``halted`` are only valid once the
+    generator is exhausted; reading them earlier raises
+    :class:`RuntimeError`.
+    """
+
+    DEFAULT_CHUNK = 65536
+
+    def __init__(self, program, max_instructions=5_000_000,
+                 allow_truncation=True, chunk_size=DEFAULT_CHUNK):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.program = program
+        self.program_name = program.name
+        self.max_instructions = max_instructions
+        self.allow_truncation = allow_truncation
+        self.chunk_size = chunk_size
+        self._finished = False
+        self._total = None
+        self._halted = None
+
+    @property
+    def total_instructions(self):
+        if not self._finished:
+            raise RuntimeError("trace not finished; exhaust chunks() first")
+        return self._total
+
+    @property
+    def halted(self):
+        if not self._finished:
+            raise RuntimeError("trace not finished; exhaust chunks() first")
+        return self._halted
+
+    def chunks(self):
+        """Generate lists of :class:`CFRecord`, each at most
+        ``chunk_size`` long, in execution order."""
+        program = self.program
+        chunk = self.chunk_size
+        max_instructions = self.max_instructions
+        packed = pack_program(program)
+        regs = [0] * NUM_REGISTERS
+        regs[REG_SP] = STACK_TOP
+        mem = dict(program.data.initial)
+        mem_get = mem.get
+        records = []
+        append = records.append
+        pc = program.entry
+        seq = 0
+        halted = False
+        alu = _ALU
+        branch = _BRANCH
+
+        while seq < max_instructions:
+            if len(records) >= chunk:
+                yield records
+                records = []
+                append = records.append
+            code, rd, rs1, rs2, imm, target = packed[pc]
+            if code == C_ADDI:
+                v = regs[rs1] + imm
+                if v > _I64_MAX or v < _I64_MIN:
+                    v = wrap64(v)
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            elif code == C_LD:
+                if rd:
+                    regs[rd] = mem_get(regs[rs1] + imm, 0)
+                pc += 1
+            elif code == C_ST:
+                mem[regs[rs1] + imm] = regs[rs2]
+                pc += 1
+            elif code in BRANCH_CODES:
+                taken = branch[code](regs[rs1], regs[rs2])
+                append(CFRecord(seq, pc, _K_BRANCH, taken, target))
+                pc = target if taken else pc + 1
+            elif code == C_ADD:
+                v = regs[rs1] + regs[rs2]
+                if v > _I64_MAX or v < _I64_MIN:
+                    v = wrap64(v)
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            elif code == C_LI:
+                if rd:
+                    regs[rd] = imm
+                pc += 1
+            elif code == C_MV:
+                if rd:
+                    regs[rd] = regs[rs1]
+                pc += 1
+            elif code == C_SUB:
+                v = regs[rs1] - regs[rs2]
+                if v > _I64_MAX or v < _I64_MIN:
+                    v = wrap64(v)
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            elif code == C_MUL:
+                v = regs[rs1] * regs[rs2]
+                if v > _I64_MAX or v < _I64_MIN:
+                    v = wrap64(v)
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            elif code == C_MULI:
+                v = regs[rs1] * imm
+                if v > _I64_MAX or v < _I64_MIN:
+                    v = wrap64(v)
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            elif code == C_JMP:
+                append(CFRecord(seq, pc, _K_JUMP, True, target))
+                pc = target
+            elif code == C_CALL:
+                regs[1] = pc + 1
+                append(CFRecord(seq, pc, _K_CALL, True, target))
+                pc = target
+            elif code == C_RET:
+                nxt = regs[1]
+                append(CFRecord(seq, pc, _K_RET, True, nxt))
+                pc = nxt
+            elif code == C_JR:
+                nxt = regs[rs1]
+                append(CFRecord(seq, pc, _K_IJUMP, True, nxt))
+                pc = nxt
+            elif code == C_HALT:
+                append(CFRecord(seq, pc, _K_HALT, False, None))
+                seq += 1
+                halted = True
+                break
+            elif code == C_NOP:
+                pc += 1
+            else:
+                # Remaining ALU forms (immediate and register) via the
+                # tables.
+                if code in _IMM_TO_REG:
+                    v = alu[_IMM_TO_REG[code]](regs[rs1], imm)
+                else:
+                    v = alu[code](regs[rs1], regs[rs2])
+                if rd:
+                    regs[rd] = v
+                pc += 1
+            seq += 1
+
+        if not halted and not self.allow_truncation:
+            raise TraceBudgetExceeded(
+                "program %r did not halt within %d instructions"
+                % (program.name, max_instructions))
+        if records:
+            yield records
+        self._total = seq
+        self._halted = halted
+        self._finished = True
+
+
 def trace_full(program, max_instructions=1_000_000, allow_truncation=True):
     """Run *program* recording every instruction's architectural effects."""
     packed = pack_program(program)

@@ -1,12 +1,27 @@
 """One module per table/figure of the paper, plus ablations.
 
-Every experiment is a function ``run(runner)`` taking a
-:class:`~repro.experiments.runner.SuiteRunner` and returning one or more
-:class:`~repro.experiments.report.ExperimentResult` objects.  The
-command line entry point is ``python -m repro.experiments.runner``.
+Every experiment is a function ``run(session)`` taking a
+:class:`~repro.pipeline.session.SimulationSession` (the deprecated
+:class:`~repro.experiments.runner.SuiteRunner` shim also works) and
+returning one or more :class:`~repro.experiments.report.
+ExperimentResult` objects.  The command line entry point is ``python -m
+repro.experiments.runner``; each module is also runnable directly,
+e.g. ``python -m repro.experiments.table1 --jobs 4``.
 """
 
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import SuiteRunner, available_experiments
+from repro.experiments.runner import (
+    SuiteRunner,
+    available_experiments,
+    select_experiments,
+)
+from repro.pipeline import PipelineConfig, SimulationSession
 
-__all__ = ["ExperimentResult", "SuiteRunner", "available_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "PipelineConfig",
+    "SimulationSession",
+    "SuiteRunner",
+    "available_experiments",
+    "select_experiments",
+]

@@ -95,3 +95,10 @@ def run(runner):
         waiting_accounting_ablation(runner),
         cls_capacity_ablation(runner),
     ]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("ablations"))

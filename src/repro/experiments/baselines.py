@@ -55,3 +55,10 @@ def run(runner):
                "predictable"],
         extra={"reports": reports},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("baselines"))

@@ -77,3 +77,10 @@ def sync_free_estimate(runner, num_tus=4):
 
 def run(runner):
     return [disable_table_extension(runner), sync_free_estimate(runner)]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("extensions"))

@@ -42,3 +42,10 @@ def run(runner):
                "LET ~92.0%"],
         extra={"per_size": per_size},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("figure4"))

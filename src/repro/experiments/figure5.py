@@ -34,3 +34,10 @@ def run(runner):
                "the full run justifies reduced evaluations"],
         extra={"series": series},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("figure5"))

@@ -34,3 +34,10 @@ def run(runner):
         notes=["paper averages: 1.65 / 2.6 / 4 / 6.2"],
         extra={"results": results},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("figure6"))

@@ -37,3 +37,10 @@ def run(runner):
                "STR(1)"],
         extra={"averages": averages},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("figure7"))

@@ -41,3 +41,10 @@ def run(runner):
         ],
         extra={"per_bench": per_bench, "suite": total},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("figure8"))

@@ -1,67 +1,67 @@
-"""Suite runner: traces workloads once, shares indexes across
-experiments, and provides a command-line entry point.
+"""Experiment command-line entry point over the simulation pipeline.
+
+Tracing is the dominant cost of every experiment, so the heavy lifting
+lives in :class:`repro.pipeline.SimulationSession`: workloads trace in
+parallel across ``--jobs`` processes, traces persist in a content-keyed
+on-disk cache (``--cache-dir``, on by default; disable with
+``--no-cache``), and loop detection streams records from the cache.
+Every experiment shares one trace and one detector pass per workload.
 
 Usage::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner table1 figure6
-    python -m repro.experiments.runner all --scale 2
+    python -m repro.experiments.runner all --scale 2 --jobs 4
+    python -m repro.experiments.runner table2 --workloads swim,go
+    python -m repro.experiments.runner all --no-cache
+
+``all`` composes with explicit names (``table1 all`` runs table1 first,
+then the rest); duplicates run once.  Each experiment module is also
+directly runnable with the same flags, e.g. ``python -m
+repro.experiments.table1 --jobs 4``.
+
+The old :class:`SuiteRunner` remains as a thin deprecated shim over
+:class:`SimulationSession` (sequential, no cache — its historical
+behaviour).
 """
 
 import argparse
 import sys
 import time
+import warnings
 
-from repro.core.detector import LoopDetector
-from repro.workloads import suite
+from repro.pipeline import PipelineConfig, SimulationSession, \
+    default_cache_dir
+from repro.workloads import SUITE_ORDER, names as workload_names
 
 
-class SuiteRunner:
-    """Caches per-workload traces and loop indexes.
+class SuiteRunner(SimulationSession):
+    """Deprecated sequential runner; use
+    :class:`repro.pipeline.SimulationSession`.
 
-    The interpretation step dominates experiment cost; every experiment
-    shares one control-flow trace and one detector pass per workload.
+    Kept so existing callers (benchmarks, tests) work unchanged: traces
+    inline in this process, no on-disk cache, identical memoization
+    semantics.
     """
 
     def __init__(self, scale=1, cls_capacity=16, max_instructions=None,
                  workloads=None):
-        self.scale = scale
-        self.cls_capacity = cls_capacity
-        self.max_instructions = max_instructions
-        self._workloads = list(workloads) if workloads is not None \
-            else suite()
-        self._traces = {}
-        self._indexes = {}
-
-    @property
-    def workloads(self):
-        return list(self._workloads)
-
-    def trace(self, name):
-        if name not in self._traces:
-            workload = self._get(name)
-            self._traces[name] = workload.cf_trace(
-                self.scale, self.max_instructions)
-        return self._traces[name]
-
-    def index(self, name):
-        if name not in self._indexes:
-            detector = LoopDetector(cls_capacity=self.cls_capacity)
-            self._indexes[name] = detector.run(self.trace(name))
-        return self._indexes[name]
-
-    def indexes(self):
-        return [(w.name, self.index(w.name)) for w in self._workloads]
-
-    def _get(self, name):
-        for workload in self._workloads:
-            if workload.name == name:
-                return workload
-        raise KeyError("workload %r not in this runner" % name)
+        warnings.warn(
+            "SuiteRunner is deprecated; use "
+            "repro.pipeline.SimulationSession", DeprecationWarning,
+            stacklevel=2)
+        super().__init__(
+            PipelineConfig(scale=scale, cls_capacity=cls_capacity,
+                           max_instructions=max_instructions,
+                           jobs=1, cache_dir=None),
+            # Pass the objects themselves so unregistered / substitute
+            # Workload instances keep working, as they always did.
+            workload_objects=(list(workloads) if workloads is not None
+                              else None))
 
 
 def available_experiments():
-    """Name -> callable(runner) for every experiment."""
+    """Name -> callable(session) for every experiment."""
     from repro.experiments import (
         ablations,
         baselines,
@@ -88,36 +88,101 @@ def available_experiments():
     }
 
 
+def select_experiments(requested, available):
+    """Expand ``all`` and de-duplicate, preserving first-seen order.
+
+    Raises :class:`ValueError` naming any unknown experiments.
+    """
+    unknown = [name for name in requested
+               if name != "all" and name not in available]
+    if unknown:
+        raise ValueError("unknown experiments: %s" % ", ".join(unknown))
+    selected = []
+    for name in requested:
+        expansion = list(available) if name == "all" else [name]
+        for exp in expansion:
+            if exp not in selected:
+                selected.append(exp)
+    return selected
+
+
+def experiment_main(experiment, argv=None):
+    """CLI entry point for one experiment module (``--jobs`` etc. all
+    apply); used by each module's ``main()``."""
+    return main([experiment] + list(sys.argv[1:] if argv is None
+                                    else argv))
+
+
+def _parse_workloads(spec, parser):
+    names = []
+    known = set(workload_names())
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in known:
+            parser.error("unknown workload %r (see --list)" % name)
+        if name not in names:
+            names.append(name)
+    if not names:
+        parser.error("--workloads selected nothing")
+    return tuple(names)
+
+
 def main(argv=None):
     experiments = available_experiments()
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment names, or 'all'")
+                        help="experiment names and/or 'all'")
     parser.add_argument("--scale", type=int, default=1,
                         help="workload size multiplier (default 1)")
     parser.add_argument("--cls-capacity", type=int, default=16)
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="per-workload instruction budget override")
+    parser.add_argument("--workloads", default=None, metavar="A,B,...",
+                        help="comma-separated workload subset "
+                             "(default: full suite)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="tracer processes (default 1: sequential)")
+    parser.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="on-disk trace cache (default %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk trace cache")
     parser.add_argument("--list", action="store_true",
-                        help="list available experiments")
+                        help="list available experiments and workloads")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
         print("available experiments:")
         for name in experiments:
             print("  %s" % name)
+        print("available workloads:")
+        for name in SUITE_ORDER:
+            print("  %s" % name)
         return 0
 
-    names = list(experiments) if args.experiments == ["all"] \
-        else args.experiments
-    unknown = [n for n in names if n not in experiments]
-    if unknown:
-        parser.error("unknown experiments: %s" % ", ".join(unknown))
+    try:
+        selected = select_experiments(args.experiments, experiments)
+    except ValueError as exc:
+        parser.error(str(exc))
 
-    runner = SuiteRunner(scale=args.scale,
-                         cls_capacity=args.cls_capacity)
-    for name in names:
+    try:
+        config = PipelineConfig(
+            scale=args.scale,
+            cls_capacity=args.cls_capacity,
+            max_instructions=args.max_instructions,
+            workloads=(_parse_workloads(args.workloads, parser)
+                       if args.workloads is not None else None),
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    session = SimulationSession(config)
+    for name in selected:
         start = time.time()
-        results = experiments[name](runner)
+        results = experiments[name](session)
         if not isinstance(results, list):
             results = [results]
         for result in results:

@@ -29,3 +29,10 @@ def run(runner):
         ],
         extra={"stats": stats_by_name},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("table1"))

@@ -25,3 +25,10 @@ def run(runner):
                "1.06-3.85 across SPEC95"],
         extra={"results": results},
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.runner import experiment_main
+    sys.exit(experiment_main("table2"))

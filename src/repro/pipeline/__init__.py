@@ -1,0 +1,23 @@
+"""Parallel, cache-backed simulation pipeline.
+
+The pipeline layer is how experiments obtain control-flow traces and
+loop indexes (see ``docs/PIPELINE.md``):
+
+* :class:`~repro.pipeline.config.PipelineConfig` — frozen session
+  parameters (workloads, scale, budget, jobs, cache directory);
+* :class:`~repro.pipeline.session.SimulationSession` — process-pool
+  tracing, on-disk trace cache, streaming loop detection;
+* :class:`~repro.pipeline.cache.TraceCache` — the content-keyed cache.
+"""
+
+from repro.pipeline.cache import TraceCache
+from repro.pipeline.config import PipelineConfig, default_cache_dir
+from repro.pipeline.session import SessionStats, SimulationSession
+
+__all__ = [
+    "PipelineConfig",
+    "SessionStats",
+    "SimulationSession",
+    "TraceCache",
+    "default_cache_dir",
+]

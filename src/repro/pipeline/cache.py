@@ -1,0 +1,144 @@
+"""Content-keyed on-disk cache for control-flow traces.
+
+Each entry is one v2 trace file whose name embeds every parameter that
+determines its content — workload name, scale, effective instruction
+budget, the trace format version, and a digest of the compiled program
+itself (:func:`program_fingerprint`)::
+
+    <root>/swim-s1-m2000000-v2-1f8a0c93d2e47b56.cft
+
+Changing any parameter, bumping
+:data:`repro.trace.io.TRACE_FORMAT_VERSION`, or *editing a workload's
+generator* therefore changes the key, so stale entries are never read,
+only orphaned.  Writes go through a temp file and ``os.replace`` so
+concurrent tracer processes can race on the same entry safely: last
+writer wins with identical content.
+
+Corrupt entries (truncated, tampered) fail header/count validation in
+:mod:`repro.trace.io`; :meth:`TraceCache.load` treats that as a miss,
+evicts the entry, and callers simply re-trace.
+"""
+
+import hashlib
+import os
+
+from repro.cpu.machine import pack_program
+from repro.trace.io import (
+    CFTraceWriter,
+    TRACE_FORMAT_VERSION,
+    atomic_writer,
+    dump_cf_trace,
+    load_cf_trace,
+    open_cf_records,
+    read_cf_header,
+)
+
+
+def program_fingerprint(program):
+    """Digest of everything that determines a program's trace: entry
+    point, packed instruction stream, and initial data memory.
+
+    This is what makes the cache *content*-keyed: editing a workload
+    generator (or the compiler emitting different code) invalidates the
+    entry even though name/scale/budget are unchanged.
+    """
+    h = hashlib.sha256()
+    h.update(b"entry=%d;" % program.entry)
+    for packed in pack_program(program):
+        h.update(repr(packed).encode("ascii"))
+    initial = program.data.initial
+    for addr in sorted(initial):
+        h.update(b"%d:%d;" % (addr, initial[addr]))
+    return h.hexdigest()[:16]
+
+
+class TraceCache:
+    """On-disk control-flow trace cache rooted at *root*."""
+
+    def __init__(self, root):
+        self.root = root
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def key(name, scale, max_instructions, fingerprint):
+        """Content key; *fingerprint* is :func:`program_fingerprint` of
+        the workload's compiled program."""
+        return "%s-s%d-m%d-v%d-%s" % (name, scale, max_instructions,
+                                      TRACE_FORMAT_VERSION, fingerprint)
+
+    def path(self, name, scale, max_instructions, fingerprint):
+        return os.path.join(
+            self.root,
+            self.key(name, scale, max_instructions, fingerprint) + ".cft")
+
+    # -- queries -------------------------------------------------------------
+
+    def has(self, name, scale, max_instructions, fingerprint):
+        """True when a loadable entry exists (header is validated)."""
+        path = self.path(name, scale, max_instructions, fingerprint)
+        try:
+            read_cf_header(path)
+        except (OSError, ValueError):
+            return False
+        return True
+
+    def load(self, name, scale, max_instructions, fingerprint):
+        """The cached :class:`CFTrace`, or ``None`` on miss/corruption.
+
+        Corrupt entries are evicted so the next writer regenerates them
+        (a writer's ``has`` pre-check can pass on a corrupt file whose
+        header survived truncation)."""
+        path = self.path(name, scale, max_instructions, fingerprint)
+        try:
+            return load_cf_trace(path)
+        except OSError:
+            return None
+        except ValueError:
+            self._evict(path)
+            return None
+
+    def _evict(self, path):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def open_records(self, name, scale, max_instructions, fingerprint):
+        """Streaming access: ``(header, record_iterator)`` or ``None``.
+
+        The iterator raises :class:`ValueError` if the file turns out to
+        be truncated mid-stream.
+        """
+        path = self.path(name, scale, max_instructions, fingerprint)
+        try:
+            return open_cf_records(path)
+        except (OSError, ValueError):
+            return None
+
+    # -- writes --------------------------------------------------------------
+
+    def store(self, trace, name, scale, max_instructions, fingerprint):
+        """Atomically write a fully materialized trace."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(name, scale, max_instructions, fingerprint)
+        dump_cf_trace(trace, path, version=TRACE_FORMAT_VERSION)
+        return path
+
+    def store_stream(self, tracer, name, scale, max_instructions,
+                     fingerprint):
+        """Atomically write a trace while it is being generated.
+
+        *tracer* follows the :class:`~repro.cpu.tracer.ChunkedCFTracer`
+        protocol: a ``chunks()`` generator plus ``total_instructions``/
+        ``halted``/``program_name`` valid after exhaustion.  The record
+        list is never materialized in this process.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(name, scale, max_instructions, fingerprint)
+        with atomic_writer(path) as fh:
+            writer = CFTraceWriter(fh, tracer.program_name)
+            for chunk in tracer.chunks():
+                writer.write(chunk)
+            writer.close(tracer.total_instructions, tracer.halted)
+        return path

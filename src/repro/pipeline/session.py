@@ -1,0 +1,268 @@
+"""The simulation session: parallel, cache-backed trace + index access.
+
+:class:`SimulationSession` is the one way experiments obtain
+control-flow traces and loop indexes.  It replaces the old sequential
+``SuiteRunner`` (kept as a deprecated shim in
+:mod:`repro.experiments.runner`) with a pipeline that
+
+1. fans workload tracing out across a ``ProcessPoolExecutor`` when
+   ``config.jobs > 1``, absorbing results in the configured workload
+   order so output is deterministic regardless of completion order;
+2. persists traces through the content-keyed on-disk
+   :class:`~repro.pipeline.cache.TraceCache`, so a warm session skips
+   interpretation entirely; and
+3. builds loop indexes by streaming cached records straight into
+   :meth:`LoopDetector.feed` in bounded chunks — detection does not
+   require the full record list in memory.
+
+The interpretation step dominates experiment cost; every experiment
+shares one trace and one detector pass per workload, exactly as before,
+but now across processes and across runs.
+"""
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.detector import LoopDetector
+from repro.pipeline import worker
+from repro.pipeline.cache import TraceCache, program_fingerprint
+from repro.pipeline.config import PipelineConfig
+from repro.trace.io import loads_cf_trace
+from repro.workloads import get, suite
+
+
+class SessionStats:
+    """Counters for what a session actually did (test/bench hooks)."""
+
+    __slots__ = ("traced", "cache_hits")
+
+    def __init__(self):
+        self.traced = 0        #: workloads interpreted by this session
+        self.cache_hits = 0    #: workloads served from the on-disk cache
+
+    def __repr__(self):
+        return ("SessionStats(traced=%d, cache_hits=%d)"
+                % (self.traced, self.cache_hits))
+
+
+class SimulationSession:
+    """Cache-backed, optionally parallel provider of traces and indexes.
+
+    Construct from a frozen :class:`~repro.pipeline.config.
+    PipelineConfig` (or its keyword arguments).  The experiment-facing
+    API is unchanged from the old ``SuiteRunner``: :meth:`trace`,
+    :meth:`index`, :meth:`indexes`, plus ``scale``/``cls_capacity``/
+    ``max_instructions``/``workloads`` attributes.
+    """
+
+    def __init__(self, config=None, workload_objects=None, **kwargs):
+        if config is None:
+            config = PipelineConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a PipelineConfig or keyword "
+                            "arguments, not both")
+        self.stats = SessionStats()
+        if workload_objects is not None:
+            # Explicit objects (possibly unregistered) take precedence;
+            # used by the SuiteRunner shim to honour its old contract.
+            self._workloads = list(workload_objects)
+            names = tuple(w.name for w in self._workloads)
+            if config.workloads is None:
+                config = dataclasses.replace(config, workloads=names)
+            elif config.workloads != names:
+                raise ValueError("workload_objects disagree with "
+                                 "config.workloads")
+        elif config.workloads is None:
+            self._workloads = suite()
+        else:
+            self._workloads = [get(name) for name in config.workloads]
+        self.config = config
+        self._by_name = {w.name: w for w in self._workloads}
+        self._fingerprints = {}
+        self._cache = (TraceCache(config.cache_dir)
+                       if config.cache_dir is not None else None)
+        self._traces = {}
+        self._indexes = {}
+        self._sources = {}   # name -> "cache" | "traced", first touch
+
+    # -- SuiteRunner-compatible surface --------------------------------------
+
+    @property
+    def scale(self):
+        return self.config.scale
+
+    @property
+    def cls_capacity(self):
+        return self.config.cls_capacity
+
+    @property
+    def max_instructions(self):
+        return self.config.max_instructions
+
+    @property
+    def workloads(self):
+        return list(self._workloads)
+
+    def trace(self, name):
+        """The control-flow trace of *name*, materialized and memoized."""
+        if name not in self._traces:
+            workload = self._get(name)
+            limit = self.config.limit_for(workload)
+            trace = self._from_cache(name, limit)
+            if trace is None:
+                trace = self._trace_now(name, limit)
+            self._traces[name] = trace
+        return self._traces[name]
+
+    def index(self, name):
+        """The loop index of *name*, memoized.
+
+        When the trace lives only in the cache, records are streamed
+        into the detector without materializing the trace.
+        """
+        if name not in self._indexes:
+            workload = self._get(name)
+            detector = LoopDetector(cls_capacity=self.config.cls_capacity)
+            if name in self._traces:
+                index = detector.run(self._traces[name])
+            else:
+                limit = self.config.limit_for(workload)
+                stream = (self._cache.open_records(
+                              name, self.scale, limit,
+                              self._fingerprint(name))
+                          if self._cache is not None else None)
+                if stream is not None:
+                    self._mark(name, cached=True)
+                    header, records = stream
+                    try:
+                        index = detector.run(records,
+                                             header.total_instructions)
+                    except ValueError:
+                        # Entry truncated past its (valid) header; fall
+                        # back to re-tracing with a fresh detector.
+                        detector = LoopDetector(
+                            cls_capacity=self.config.cls_capacity)
+                        index = detector.run(self.trace(name))
+                else:
+                    index = detector.run(self.trace(name))
+            self._indexes[name] = index
+        return self._indexes[name]
+
+    def indexes(self):
+        """``(name, index)`` for every workload, in configured order."""
+        self.ensure_traced()
+        return [(w.name, self.index(w.name)) for w in self._workloads]
+
+    # -- pipeline ------------------------------------------------------------
+
+    def ensure_traced(self, names=None):
+        """Trace every listed workload (default: all) that is neither in
+        memory nor in the cache, fanning out across ``config.jobs``
+        processes."""
+        if names is None:
+            names = [w.name for w in self._workloads]
+        else:
+            names = [self._get(n).name for n in names]
+        missing = []
+        for name in names:
+            if name in self._traces:
+                continue
+            limit = self.config.limit_for(self._by_name[name])
+            if self._cache is not None and self._cache.has(
+                    name, self.scale, limit, self._fingerprint(name)):
+                self._mark(name, cached=True)
+                continue
+            missing.append((name, limit))
+        if not missing:
+            return
+        # Unregistered workload objects cannot be resolved by name in a
+        # child process; those trace inline below.
+        pooled = [(n, l) for n, l in missing if self._poolable(n)]
+        if self.config.jobs == 1 or len(pooled) <= 1:
+            pooled = []
+        results = {}
+        if pooled:
+            cache_dir = self.config.cache_dir
+            with ProcessPoolExecutor(
+                    max_workers=min(self.config.jobs,
+                                    len(pooled))) as pool:
+                futures = [
+                    pool.submit(worker.trace_workload, name, self.scale,
+                                limit, cache_dir)
+                    for name, limit in pooled]
+                for future in futures:
+                    name, payload = future.result()
+                    results[name] = payload
+        # Absorb in configured order so memoization and any downstream
+        # iteration see a deterministic sequence.
+        for name, limit in missing:
+            if name in results:
+                self._mark(name, cached=False)
+                payload = results[name]
+                if payload is not None:
+                    self._traces[name] = loads_cf_trace(payload)
+                # else: the worker streamed it into the cache; load
+                # lazily (index() streams it straight off disk).
+            else:
+                self._trace_now(name, limit, memoize=True)
+
+    # -- internals -----------------------------------------------------------
+
+    def _get(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError("workload %r not in this session" % name) \
+                from None
+
+    def _mark(self, name, cached):
+        kind = "cache" if cached else "traced"
+        prev = self._sources.get(name)
+        if prev == kind or prev == "traced":
+            return
+        self._sources[name] = kind
+        if cached:
+            self.stats.cache_hits += 1
+        else:
+            if prev == "cache":
+                # The cache entry turned out corrupt mid-stream and we
+                # re-traced; it was never a usable hit.
+                self.stats.cache_hits -= 1
+            self.stats.traced += 1
+
+    def _fingerprint(self, name):
+        fingerprint = self._fingerprints.get(name)
+        if fingerprint is None:
+            fingerprint = program_fingerprint(
+                self._by_name[name].program(self.scale))
+            self._fingerprints[name] = fingerprint
+        return fingerprint
+
+    def _poolable(self, name):
+        """A child process resolves names through the registry; only
+        workloads whose name maps back to the same object can be
+        traced in the pool."""
+        try:
+            return get(name) is self._by_name[name]
+        except KeyError:
+            return False
+
+    def _from_cache(self, name, limit):
+        if self._cache is None:
+            return None
+        trace = self._cache.load(name, self.scale, limit,
+                                 self._fingerprint(name))
+        if trace is not None:
+            self._mark(name, cached=True)
+        return trace
+
+    def _trace_now(self, name, limit, memoize=False):
+        """Trace inline through the shared worker entry point; returns
+        the in-memory trace directly (no disk round-trip)."""
+        self._mark(name, cached=False)
+        _, trace = worker.trace_workload(
+            self._by_name[name], self.scale, limit,
+            self.config.cache_dir, materialize=True)
+        if memoize:
+            self._traces[name] = trace
+        return trace

@@ -1,0 +1,61 @@
+"""Process-pool worker for parallel workload tracing.
+
+:func:`trace_workload` is the single tracing entry point for both the
+inline (``jobs=1``) and pooled paths of
+:class:`~repro.pipeline.session.SimulationSession`, so tests can count
+or stub interpretation in one place.  It must stay importable at module
+top level (the pool pickles it by reference) and must not depend on any
+parent-process state beyond its arguments: under the ``spawn`` start
+method a fresh interpreter imports this module and nothing else.
+
+Pooled callers pass the workload *name* (resolved through the registry
+in the child) and get the trace via the cache — streamed to disk in
+bounded chunks, nothing shipped over the result pipe — or, without a
+cache, as serialized v2 text.  Inline callers pass the Workload object
+itself (which also supports unregistered workloads) with
+``materialize=True`` and get the in-memory :class:`CFTrace` directly,
+with no disk round-trip.
+"""
+
+from repro.cpu.tracer import ChunkedCFTracer
+from repro.pipeline.cache import TraceCache, program_fingerprint
+from repro.trace.io import TRACE_FORMAT_VERSION, dumps_cf_trace
+
+
+def trace_workload(workload, scale=1, max_instructions=None,
+                   cache_dir=None, materialize=False):
+    """Trace one workload (a registered name or a Workload object).
+
+    Returns ``(name, payload)`` where *payload* is:
+
+    * the :class:`CFTrace` itself when ``materialize=True``;
+    * ``None`` when the trace was written to (or already present in)
+      the cache;
+    * otherwise the serialized v2 trace text.
+
+    ``max_instructions=None`` uses the workload's default budget,
+    mirroring the cache key computation in the session.
+    """
+    if isinstance(workload, str):
+        import repro.workloads.suite  # noqa: F401  (registers the suite)
+        from repro.workloads.base import get
+        workload = get(workload)
+    name = workload.name
+    limit = max_instructions or workload.default_max_instructions
+
+    if cache_dir is not None:
+        cache = TraceCache(cache_dir)
+        fingerprint = program_fingerprint(workload.program(scale))
+        if materialize:
+            trace = workload.cf_trace(scale, limit)
+            cache.store(trace, name, scale, limit, fingerprint)
+            return name, trace
+        if not cache.has(name, scale, limit, fingerprint):
+            tracer = ChunkedCFTracer(workload.program(scale), limit)
+            cache.store_stream(tracer, name, scale, limit, fingerprint)
+        return name, None
+
+    trace = workload.cf_trace(scale, limit)
+    if materialize:
+        return name, trace
+    return name, dumps_cf_trace(trace, version=TRACE_FORMAT_VERSION)

@@ -4,10 +4,15 @@ from repro.trace.record import CFRecord, FullRecord
 from repro.trace.stream import CFTrace, FullTrace, clip, straight_line_runs
 from repro.trace.stats import CFStats, basic_block_profile, collect_cf_stats
 from repro.trace.io import (
+    CFTraceWriter,
+    TRACE_FORMAT_VERSION,
+    TraceHeader,
     dump_cf_trace,
     dumps_cf_trace,
     load_cf_trace,
     loads_cf_trace,
+    open_cf_records,
+    read_cf_header,
 )
 
 __all__ = [
@@ -20,8 +25,13 @@ __all__ = [
     "CFStats",
     "basic_block_profile",
     "collect_cf_stats",
+    "CFTraceWriter",
+    "TRACE_FORMAT_VERSION",
+    "TraceHeader",
     "dump_cf_trace",
     "dumps_cf_trace",
     "load_cf_trace",
     "loads_cf_trace",
+    "open_cf_records",
+    "read_cf_header",
 ]

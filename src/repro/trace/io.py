@@ -1,48 +1,234 @@
 """Trace (de)serialization.
 
 Control-flow traces are written as a compact line format so experiment
-pipelines can cache the expensive interpretation step::
+pipelines can cache the expensive interpretation step (the on-disk
+trace cache in :mod:`repro.pipeline.cache` builds on this module).
 
-    #cftrace v1 name=<program> total=<n> halted=<0|1>
+Two format versions share the record line layout::
+
     <seq> <pc> <kind> <taken> <target|->
+
+* **v1** (legacy, still written by default for compatibility)::
+
+      #cftrace v1 name=<program> total=<n> halted=<0|1> records=<n>
+
+  Older v1 files lack the ``records=`` field; they still load, but
+  without truncation detection.
+
+* **v2** (the cache format) has the same header fields and is written
+  and read in bounded chunks: the writer batches record lines instead
+  of issuing one ``write`` per record, and :class:`CFTraceWriter`
+  back-patches the header so a trace can be streamed to disk while it
+  is being generated, without ever materializing the record list.
+
+Both loaders validate the declared record count and raise
+:class:`ValueError` on truncated, padded, or malformed files.
 
 Full traces are not serialized (they are cheap to regenerate at the
 scales the data-speculation study uses, and enormous on disk).
 """
 
+import contextlib
 import io
 import os
+from typing import NamedTuple, Optional
 
 from repro.trace.record import CFRecord
 from repro.trace.stream import CFTrace
 
-_HEADER_PREFIX = "#cftrace v1 "
+_HEADER_V1 = "#cftrace v1 "
+_HEADER_V2 = "#cftrace v2 "
+
+#: Bump when the on-disk record layout changes; cache keys include it.
+TRACE_FORMAT_VERSION = 2
+
+#: Records per chunk for the batched v2 writer/reader.
+CHUNK_RECORDS = 8192
+
+#: Room reserved in a back-patched v2 header for the numeric fields.
+_BACKPATCH_SLACK = 64
 
 
-def dump_cf_trace(trace, path_or_file):
-    """Write *trace* to a path or text file object."""
+class TraceHeader(NamedTuple):
+    """Parsed trace-file header."""
+
+    version: int
+    program_name: str
+    total_instructions: int
+    halted: bool
+    records: Optional[int]    #: declared record count (None: legacy v1)
+
+
+def _format_record(rec):
+    return "%d %d %d %d %s" % (
+        rec.seq, rec.pc, rec.kind, 1 if rec.taken else 0,
+        "-" if rec.target is None else str(rec.target))
+
+
+def _parse_record(line, lineno):
+    parts = line.split()
+    if len(parts) != 5:
+        raise ValueError("malformed record on line %d: %r" % (lineno, line))
+    seq, pc, kind, taken, target = parts
+    if taken not in ("0", "1"):
+        raise ValueError("malformed taken flag on line %d: %r"
+                         % (lineno, line))
+    try:
+        return CFRecord(int(seq), int(pc), int(kind), taken == "1",
+                        None if target == "-" else int(target))
+    except ValueError:
+        raise ValueError("malformed record on line %d: %r"
+                         % (lineno, line)) from None
+
+
+def _parse_header(line):
+    if line.startswith(_HEADER_V1):
+        version, body = 1, line[len(_HEADER_V1):]
+    elif line.startswith(_HEADER_V2):
+        version, body = 2, line[len(_HEADER_V2):]
+    else:
+        raise ValueError("not a cftrace file (bad header %r)" % line[:40])
+    fields = {}
+    for part in body.split():
+        if "=" not in part:
+            raise ValueError("malformed header field %r" % part)
+        key, value = part.split("=", 1)
+        fields[key] = value
+    try:
+        total = int(fields["total"])
+        halted = fields["halted"] == "1"
+        records = int(fields["records"]) if "records" in fields else None
+    except (KeyError, ValueError):
+        raise ValueError("malformed header %r" % line.strip()) from None
+    if version == 2 and records is None:
+        raise ValueError("v2 header missing records= field")
+    return TraceHeader(version, fields.get("name", "program"), total,
+                       halted, records)
+
+
+# -- writing -----------------------------------------------------------------
+
+@contextlib.contextmanager
+def atomic_writer(path):
+    """A text file handle that atomically replaces *path* on success
+    and leaves no temp file behind on error."""
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "w", encoding="ascii") as fh:
+            yield fh
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def dump_cf_trace(trace, path_or_file, version=1):
+    """Write *trace* to a path (atomically) or text file object.
+
+    ``version=1`` keeps the legacy one-write-per-record format;
+    ``version=2`` writes the chunked cache format.
+    """
     if hasattr(path_or_file, "write"):
-        _write(trace, path_or_file)
+        _write(trace, path_or_file, version)
         return
-    tmp = "%s.tmp.%d" % (path_or_file, os.getpid())
-    with open(tmp, "w", encoding="ascii") as fh:
-        _write(trace, fh)
-    os.replace(tmp, path_or_file)
+    with atomic_writer(path_or_file) as fh:
+        _write(trace, fh, version)
 
 
-def _write(trace, fh):
-    fh.write("%sname=%s total=%d halted=%d\n"
-             % (_HEADER_PREFIX, trace.program_name,
-                trace.total_instructions, 1 if trace.halted else 0))
-    for rec in trace.records:
-        target = "-" if rec.target is None else str(rec.target)
-        fh.write("%d %d %d %d %s\n"
-                 % (rec.seq, rec.pc, rec.kind, 1 if rec.taken else 0,
-                    target))
+def _write(trace, fh, version):
+    if version == 1:
+        fh.write("%sname=%s total=%d halted=%d records=%d\n"
+                 % (_HEADER_V1, trace.program_name,
+                    trace.total_instructions, 1 if trace.halted else 0,
+                    len(trace.records)))
+        for rec in trace.records:
+            fh.write(_format_record(rec))
+            fh.write("\n")
+    elif version == 2:
+        fh.write("%sname=%s total=%d halted=%d records=%d\n"
+                 % (_HEADER_V2, trace.program_name,
+                    trace.total_instructions, 1 if trace.halted else 0,
+                    len(trace.records)))
+        _write_record_chunks(trace.records, fh)
+    else:
+        raise ValueError("unknown trace format version %r" % (version,))
 
+
+def _write_record_chunks(records, fh):
+    batch = []
+    for rec in records:
+        batch.append(_format_record(rec))
+        if len(batch) >= CHUNK_RECORDS:
+            fh.write("\n".join(batch))
+            fh.write("\n")
+            del batch[:]
+    if batch:
+        fh.write("\n".join(batch))
+        fh.write("\n")
+
+
+class CFTraceWriter:
+    """Streaming v2 writer for traces of unknown final length.
+
+    The header needs ``total``/``halted``/``records``, which a streaming
+    producer only knows at the end, so a fixed-width placeholder header
+    is written first and back-patched by :meth:`close`.  The file object
+    must therefore be seekable.
+
+    Usage::
+
+        with open(tmp, "w", encoding="ascii") as fh:
+            writer = CFTraceWriter(fh, program_name)
+            for chunk in tracer.chunks():
+                writer.write(chunk)
+            writer.close(tracer.total_instructions, tracer.halted)
+    """
+
+    def __init__(self, fh, program_name):
+        self._fh = fh
+        self._name = program_name
+        self._count = 0
+        self._batch = []
+        self._width = (len(_HEADER_V2) + len("name=%s" % program_name)
+                       + _BACKPATCH_SLACK)
+        fh.write("#" + " " * (self._width - 1) + "\n")
+
+    def write(self, records):
+        """Append an iterable of records."""
+        batch = self._batch
+        for rec in records:
+            batch.append(_format_record(rec))
+            self._count += 1
+            if len(batch) >= CHUNK_RECORDS:
+                self._flush()
+
+    def _flush(self):
+        if self._batch:
+            self._fh.write("\n".join(self._batch))
+            self._fh.write("\n")
+            del self._batch[:]
+
+    def close(self, total_instructions, halted):
+        """Flush records and back-patch the real header."""
+        self._flush()
+        header = "%sname=%s total=%d halted=%d records=%d" % (
+            _HEADER_V2, self._name, total_instructions,
+            1 if halted else 0, self._count)
+        if len(header) > self._width:
+            raise ValueError("header exceeds reserved width")
+        self._fh.seek(0)
+        self._fh.write(header.ljust(self._width))
+
+    @property
+    def records_written(self):
+        return self._count
+
+
+# -- reading -----------------------------------------------------------------
 
 def load_cf_trace(path_or_file):
-    """Read a trace written by :func:`dump_cf_trace`."""
+    """Read a trace written by :func:`dump_cf_trace` (either version)."""
     if hasattr(path_or_file, "read"):
         return _read(path_or_file)
     with open(path_or_file, "r", encoding="ascii") as fh:
@@ -50,29 +236,75 @@ def load_cf_trace(path_or_file):
 
 
 def _read(fh):
-    header = fh.readline()
-    if not header.startswith(_HEADER_PREFIX):
-        raise ValueError("not a cftrace v1 file")
-    fields = dict(part.split("=", 1)
-                  for part in header[len(_HEADER_PREFIX):].split())
+    header = _parse_header(fh.readline())
     records = []
+    lineno = 1
     for line in fh:
+        lineno += 1
         line = line.strip()
         if not line:
             continue
-        seq, pc, kind, taken, target = line.split()
-        records.append(CFRecord(int(seq), int(pc), int(kind),
-                                taken == "1",
-                                None if target == "-" else int(target)))
-    return CFTrace(records=records, total_instructions=int(fields["total"]),
-                   halted=fields["halted"] == "1",
-                   program_name=fields.get("name", "program"))
+        records.append(_parse_record(line, lineno))
+    _check_count(header, len(records))
+    return CFTrace(records=records,
+                   total_instructions=header.total_instructions,
+                   halted=header.halted, program_name=header.program_name)
 
 
-def dumps_cf_trace(trace):
-    """Serialize to a string (round-trip helper for tests)."""
+def _check_count(header, seen):
+    if header.records is not None and seen != header.records:
+        raise ValueError(
+            "trace declares %d records but file contains %d "
+            "(truncated or tampered?)" % (header.records, seen))
+
+
+def read_cf_header(path_or_file):
+    """Read only the header of a trace file."""
+    if hasattr(path_or_file, "read"):
+        return _parse_header(path_or_file.readline())
+    with open(path_or_file, "r", encoding="ascii") as fh:
+        return _parse_header(fh.readline())
+
+
+def open_cf_records(path):
+    """Open *path* for streaming: ``(header, record_iterator)``.
+
+    The iterator yields :class:`CFRecord` one at a time without holding
+    the whole trace in memory, validates the declared record count at
+    end of file (raising :class:`ValueError` on mismatch), and closes
+    the file when exhausted or garbage-collected.
+    """
+    fh = open(path, "r", encoding="ascii")
+    try:
+        header = _parse_header(fh.readline())
+    except BaseException:
+        fh.close()
+        raise
+    return header, _record_stream(fh, header)
+
+
+def _record_stream(fh, header):
+    try:
+        seen = 0
+        lineno = 1
+        for line in fh:
+            lineno += 1
+            line = line.strip()
+            if not line:
+                continue
+            yield _parse_record(line, lineno)
+            seen += 1
+        _check_count(header, seen)
+    finally:
+        fh.close()
+
+
+# -- string helpers ----------------------------------------------------------
+
+def dumps_cf_trace(trace, version=1):
+    """Serialize to a string (round-trip helper for tests and workers)."""
     buf = io.StringIO()
-    _write(trace, buf)
+    _write(trace, buf, version)
     return buf.getvalue()
 
 

@@ -271,3 +271,28 @@ class TestStructuredProgramInvariants:
             assert rec.end_seq is not None
             assert rec.end_seq >= rec.start_seq
             assert rec.iterations >= 1
+
+
+class TestIterableInput:
+    """run() consumes plain record iterables, not just CFTrace."""
+
+    def _trace(self):
+        from repro.workloads import get
+        return get("swim").cf_trace(max_instructions=20_000)
+
+    def test_iterable_with_total_matches_trace(self):
+        trace = self._trace()
+        from_trace = LoopDetector().run(trace)
+        from_iter = LoopDetector().run(iter(trace.records),
+                                       trace.total_instructions)
+        assert len(from_iter) == len(from_trace)
+        assert [type(e).__name__ for e in from_iter.events] \
+            == [type(e).__name__ for e in from_trace.events]
+        assert from_iter.total_instructions \
+            == from_trace.total_instructions
+
+    def test_iterable_without_total_rejected(self):
+        import pytest
+        trace = self._trace()
+        with pytest.raises(TypeError):
+            LoopDetector().run(iter(trace.records))

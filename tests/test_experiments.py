@@ -213,3 +213,49 @@ class TestReportRendering:
     def test_column_accessor(self, small_runner):
         result = table1.run(small_runner)
         assert result.column("program") == ["swim", "go"]
+
+
+class TestExperimentSelection:
+    """'all' composes with explicit names; duplicates run once."""
+
+    def test_all_alone_expands(self):
+        from repro.experiments.runner import select_experiments
+        experiments = available_experiments()
+        assert select_experiments(["all"], experiments) \
+            == list(experiments)
+
+    def test_all_composes_with_names(self):
+        from repro.experiments.runner import select_experiments
+        experiments = available_experiments()
+        selected = select_experiments(["table2", "all"], experiments)
+        assert selected[0] == "table2"
+        assert selected.count("table2") == 1
+        assert set(selected) == set(experiments)
+
+    def test_duplicates_deduplicated(self):
+        from repro.experiments.runner import select_experiments
+        experiments = available_experiments()
+        assert select_experiments(["table1", "table1", "figure4"],
+                                  experiments) == ["table1", "figure4"]
+
+    def test_unknown_name_rejected(self):
+        from repro.experiments.runner import select_experiments
+        with pytest.raises(ValueError, match="spice"):
+            select_experiments(["table1", "spice"],
+                               available_experiments())
+
+    def test_cli_list_includes_workloads(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "swim" in out and "go" in out
+
+    def test_cli_rejects_unknown_workload(self, capsys):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["table1", "--workloads", "spice"])
+
+    def test_suite_runner_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            SuiteRunner(workloads=[get("swim")])

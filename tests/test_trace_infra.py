@@ -208,3 +208,119 @@ class TestFormattingUtilities:
     def test_zero_seed_replaced(self):
         from repro.util.rng import Xorshift64
         assert Xorshift64(0).next_u64() != 0
+
+
+class TestSerializationV2:
+    """The chunked v2 cache format and the streaming reader/writer."""
+
+    def test_v2_round_trip(self, loop_trace):
+        from repro.trace import dumps_cf_trace, loads_cf_trace
+        text = dumps_cf_trace(loop_trace, version=2)
+        assert text.startswith("#cftrace v2 ")
+        clone = loads_cf_trace(text)
+        assert clone.records == loop_trace.records
+        assert clone.total_instructions == loop_trace.total_instructions
+        assert clone.halted == loop_trace.halted
+        assert clone.program_name == loop_trace.program_name
+
+    def test_v1_and_v2_record_lines_identical(self, loop_trace):
+        from repro.trace import dumps_cf_trace
+        v1 = dumps_cf_trace(loop_trace, version=1).splitlines()[1:]
+        v2 = dumps_cf_trace(loop_trace, version=2).splitlines()[1:]
+        assert v1 == v2
+
+    def test_unknown_version_rejected(self, loop_trace):
+        from repro.trace import dumps_cf_trace
+        with pytest.raises(ValueError):
+            dumps_cf_trace(loop_trace, version=3)
+
+    def test_header_declares_record_count(self, loop_trace):
+        from repro.trace import dumps_cf_trace, read_cf_header
+        for version in (1, 2):
+            text = dumps_cf_trace(loop_trace, version=version)
+            header = read_cf_header(io.StringIO(text))
+            assert header.version == version
+            assert header.records == len(loop_trace.records)
+            assert header.total_instructions \
+                == loop_trace.total_instructions
+
+    def test_streaming_writer_backpatches_header(self, loop_trace,
+                                                 tmp_path):
+        from repro.trace import CFTraceWriter, load_cf_trace
+        path = tmp_path / "stream.cft"
+        with open(path, "w", encoding="ascii") as fh:
+            writer = CFTraceWriter(fh, loop_trace.program_name)
+            for rec in loop_trace.records:   # one at a time
+                writer.write([rec])
+            writer.close(loop_trace.total_instructions, loop_trace.halted)
+        clone = load_cf_trace(str(path))
+        assert clone.records == loop_trace.records
+        assert clone.total_instructions == loop_trace.total_instructions
+
+    def test_open_cf_records_streams_and_validates(self, loop_trace,
+                                                   tmp_path):
+        from repro.trace import dump_cf_trace, open_cf_records
+        path = tmp_path / "t.cft"
+        dump_cf_trace(loop_trace, str(path), version=2)
+        header, records = open_cf_records(str(path))
+        assert list(records) == loop_trace.records
+        assert header.program_name == loop_trace.program_name
+
+
+class TestCorruptTraceFiles:
+    """Truncated or tampered trace files must raise, not load short."""
+
+    def _dump(self, trace, version):
+        from repro.trace import dumps_cf_trace
+        return dumps_cf_trace(trace, version=version)
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_truncated_file_rejected(self, loop_trace, version):
+        from repro.trace import loads_cf_trace
+        lines = self._dump(loop_trace, version).splitlines(keepends=True)
+        assert len(lines) > 3
+        with pytest.raises(ValueError, match="truncated or tampered"):
+            loads_cf_trace("".join(lines[:-2]))
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_appended_records_rejected(self, loop_trace, version):
+        from repro.trace import loads_cf_trace
+        text = self._dump(loop_trace, version) + "9 9 1 0 -\n"
+        with pytest.raises(ValueError, match="truncated or tampered"):
+            loads_cf_trace(text)
+
+    @pytest.mark.parametrize("junk", ["20128 14", "a b c d e",
+                                      "1 2 3 7 -", "1 2 3 4 5 6"])
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_malformed_line_rejected(self, loop_trace, version, junk):
+        from repro.trace import loads_cf_trace
+        lines = self._dump(loop_trace, version).splitlines()
+        lines[2] = junk
+        with pytest.raises(ValueError, match="malformed"):
+            loads_cf_trace("\n".join(lines) + "\n")
+
+    def test_malformed_header_rejected(self):
+        from repro.trace import loads_cf_trace
+        with pytest.raises(ValueError):
+            loads_cf_trace("#cftrace v1 name=x total=abc halted=1\n")
+        with pytest.raises(ValueError):
+            loads_cf_trace("#cftrace v2 name=x total=5 halted=1\n")
+
+    def test_legacy_v1_header_without_count_still_loads(self, loop_trace):
+        from repro.trace import dumps_cf_trace, loads_cf_trace
+        lines = dumps_cf_trace(loop_trace, version=1).splitlines()
+        legacy = lines[0].replace(
+            " records=%d" % len(loop_trace.records), "")
+        clone = loads_cf_trace("\n".join([legacy] + lines[1:]) + "\n")
+        assert clone.records == loop_trace.records
+
+    def test_streaming_reader_raises_on_truncation(self, loop_trace,
+                                                   tmp_path):
+        from repro.trace import dump_cf_trace, open_cf_records
+        path = tmp_path / "t.cft"
+        dump_cf_trace(loop_trace, str(path), version=2)
+        data = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(data[:-1]))
+        _header, records = open_cf_records(str(path))
+        with pytest.raises(ValueError, match="truncated or tampered"):
+            list(records)

@@ -173,3 +173,50 @@ class TestDifferential:
         full = trace_full(program, max_instructions=100000)
         assert full.control_flow().records == cf.records
         cf.validate()
+
+
+def _chunk_fixture():
+    """A program with calls, nested loops and irregular branches."""
+    from repro.workloads import get
+    return get("go").program()
+
+
+class TestChunkedTracer:
+    """The chunked/streaming tracer is pinned to the monolithic one."""
+
+    def test_chunks_concatenate_to_full_trace(self):
+        from repro.cpu import ChunkedCFTracer
+        program = _chunk_fixture()
+        full = trace_control_flow(program, 50_000)
+        tracer = ChunkedCFTracer(program, 50_000, chunk_size=7)
+        records = []
+        for chunk in tracer.chunks():
+            assert 0 < len(chunk) <= 7
+            records.extend(chunk)
+        assert records == full.records
+        assert tracer.total_instructions == full.total_instructions
+        assert tracer.halted == full.halted
+        assert tracer.program_name == full.program_name
+
+    def test_metadata_unavailable_before_exhaustion(self):
+        from repro.cpu import ChunkedCFTracer
+        tracer = ChunkedCFTracer(_chunk_fixture(), 1_000)
+        with pytest.raises(RuntimeError):
+            tracer.total_instructions
+        gen = tracer.chunks()
+        next(gen)
+        with pytest.raises(RuntimeError):
+            tracer.halted
+
+    def test_truncation_can_raise(self):
+        from repro.cpu import ChunkedCFTracer
+        from repro.cpu.tracer import TraceBudgetExceeded
+        tracer = ChunkedCFTracer(_chunk_fixture(), 10,
+                                 allow_truncation=False)
+        with pytest.raises(TraceBudgetExceeded):
+            list(tracer.chunks())
+
+    def test_bad_chunk_size_rejected(self):
+        from repro.cpu import ChunkedCFTracer
+        with pytest.raises(ValueError):
+            ChunkedCFTracer(_chunk_fixture(), 1_000, chunk_size=0)
