@@ -8,16 +8,16 @@ paper (see EXPERIMENTS.md for the side-by-side record).
 
 import pytest
 
-from repro.experiments import SuiteRunner
+from repro.experiments import SimulationSession
 
 
 @pytest.fixture(scope="session")
 def runner():
-    suite_runner = SuiteRunner(scale=1)
+    session = SimulationSession(scale=1, cache_dir=None)
     # Pre-trace everything so per-benchmark timings measure analysis,
     # not interpretation.
-    suite_runner.indexes()
-    return suite_runner
+    session.indexes()
+    return session
 
 
 def run_once(benchmark, fn, *args):

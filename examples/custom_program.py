@@ -2,13 +2,14 @@
 
 Shows the full user path for analyzing *your own* algorithm instead of
 the bundled suite: write mini-language text, optionally optimize it,
-then run the paper's detection and speculation pipeline over it.
+then run the paper's detection and speculation passes as one streaming
+analysis over a single replay of the trace (`repro.analysis`).
 
 Run:  python examples/custom_program.py
 """
 
-from repro.core import LoopDetector, compute_loop_statistics
-from repro.core.speculation import simulate
+from repro.analysis import LoopStatisticsPass, SpeculationPass, \
+    analyze_trace
 from repro.cpu import trace_control_flow
 from repro.lang import compile_module, optimize_module, parse_module
 
@@ -53,6 +54,8 @@ func main() {
 }
 """
 
+TU_COUNTS = (2, 4, 8)
+
 
 def main():
     module = parse_module(SOURCE, name="sieve")
@@ -60,10 +63,14 @@ def main():
     program = compile_module(optimized)
     print("compiled %d instructions" % len(program))
 
+    # One replay of the trace feeds loop statistics and the STR
+    # speculation simulation at every machine size.
     trace = trace_control_flow(program)
-    machine_result = None  # the return value travels through rv
-    index = LoopDetector().run(trace)
-    stats = compute_loop_statistics(index, "sieve")
+    passes = [LoopStatisticsPass()] + \
+        [SpeculationPass(num_tus=tus, policy="str") for tus in TU_COUNTS]
+    results = analyze_trace(passes, trace, name="sieve")
+
+    stats = results[0]["sieve"]
     print("ran %d instructions; %d loops, %.1f iterations/execution, "
           "nesting up to %d"
           % (stats.total_instructions, stats.static_loops,
@@ -71,8 +78,8 @@ def main():
 
     # The sieve's inner while-loop trip count shrinks as primes grow --
     # watch how the STR policy's stride predictor copes per TU count.
-    for tus in (2, 4, 8):
-        result = simulate(index, num_tus=tus, policy="str")
+    for tus, by_name in zip(TU_COUNTS, results[1:]):
+        result = by_name["sieve"]
         print("%2d TUs: TPC %.2f  hit %5.1f%%  %d speculations"
               % (tus, result.tpc, 100 * result.hit_ratio,
                  result.speculation_events))

@@ -1,8 +1,10 @@
 """Loop profiler: per-loop behaviour of a workload.
 
-Uses the detector's loop index to print, for any suite workload, its
-hottest loops: executions, iterations per execution, body size and
-nesting -- the per-loop view behind the paper's Table 1 aggregates.
+Shows how to write a *custom* streaming analysis: a per-loop profile
+pass that folds each loop execution in as it ends, registered alongside
+the stock loop-statistics pass so both ride one replay through
+``SimulationSession.analyze`` -- the per-loop view behind the paper's
+Table 1 aggregates.
 
 Run:  python examples/loop_profiler.py [workload] [scale]
       python examples/loop_profiler.py compress
@@ -11,26 +13,50 @@ Run:  python examples/loop_profiler.py [workload] [scale]
 import sys
 from collections import defaultdict
 
-from repro.core import compute_loop_statistics
+from repro.analysis import Analysis, AnalysisSuite, LoopStatisticsPass
+from repro.core.events import ExecutionEnd, SingleIteration
+from repro.pipeline import SimulationSession
 from repro.util.fmt import format_table
-from repro.workloads import get, names
+from repro.workloads import names
 
 
-def profile(workload_name, scale=1):
-    workload = get(workload_name)
-    index = workload.loop_index(scale=scale)
+class PerLoopProfile(Analysis):
+    """Executions, iterations, instructions and depth per static loop."""
 
-    per_loop = defaultdict(lambda: {"executions": 0, "iterations": 0,
-                                    "instructions": 0, "depth_max": 0})
-    for rec in index.executions.values():
-        entry = per_loop[rec.loop]
+    def __init__(self):
+        self.per_loop = None
+        self._ctx = None
+
+    def begin(self, ctx):
+        self._ctx = ctx
+        self.per_loop = defaultdict(lambda: {
+            "executions": 0, "iterations": 0, "instructions": 0,
+            "depth_max": 0})
+
+    def feed(self, event):
+        if type(event) not in (ExecutionEnd, SingleIteration):
+            return
+        rec = self._ctx.execution(event.exec_id)
+        entry = self.per_loop[rec.loop]
         entry["executions"] += 1
         entry["iterations"] += rec.iterations or 1
         entry["instructions"] += sum(rec.iteration_lengths())
         entry["depth_max"] = max(entry["depth_max"], rec.depth)
 
+    def result(self):
+        return dict(self.per_loop)
+
+
+def profile(workload_name, scale=1):
+    session = SimulationSession(workloads=(workload_name,), scale=scale,
+                                cache_dir=None)
+    suite = AnalysisSuite()
+    profile_pass = suite.add(PerLoopProfile())
+    stats_pass = suite.add(LoopStatisticsPass())
+    session.analyze(suite)
+
     rows = []
-    for loop, entry in sorted(per_loop.items(),
+    for loop, entry in sorted(profile_pass.result().items(),
                               key=lambda kv: -kv[1]["instructions"]):
         iters = entry["iterations"]
         rows.append((
@@ -41,7 +67,7 @@ def profile(workload_name, scale=1):
             entry["depth_max"],
         ))
 
-    stats = compute_loop_statistics(index, workload_name)
+    stats = stats_pass.by_name[workload_name]
     print(format_table(
         ("loop", "#exec", "#iter/exec", "#instr/iter", "max depth"),
         rows[:15],

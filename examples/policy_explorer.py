@@ -2,7 +2,10 @@
 
 Sweeps thread-unit counts and speculation policies (IDLE, STR, STR(i))
 for one workload and prints the trade-off matrix -- the per-program view
-behind the paper's Figures 6 and 7.
+behind the paper's Figures 6 and 7.  All twenty simulations plus the
+idealized infinite-TU study ride ONE replay of the workload's trace:
+each is a :class:`SpeculationPass` registered in the same
+:class:`AnalysisSuite`.
 
 Run:  python examples/policy_explorer.py [workload] [scale]
       python examples/policy_explorer.py tomcatv
@@ -10,22 +13,32 @@ Run:  python examples/policy_explorer.py [workload] [scale]
 
 import sys
 
-from repro.core.speculation import simulate, simulate_infinite
+from repro.analysis import AnalysisSuite, SpeculationPass
+from repro.pipeline import SimulationSession
 from repro.util.fmt import format_table
-from repro.workloads import get, names
+from repro.workloads import names
 
 POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
 TU_COUNTS = (2, 4, 8, 16)
 
 
 def explore(workload_name, scale=1):
-    index = get(workload_name).loop_index(scale=scale)
+    session = SimulationSession(workloads=(workload_name,), scale=scale,
+                                cache_dir=None)
+    suite = AnalysisSuite()
+    passes = {}
+    for policy in POLICIES:
+        for tus in TU_COUNTS:
+            passes[(policy, tus)] = suite.add(
+                SpeculationPass(num_tus=tus, policy=policy))
+    infinite = suite.add(SpeculationPass(num_tus=None))
+    session.analyze(suite)
 
     rows = []
     for policy in POLICIES:
         row = [policy.upper()]
         for tus in TU_COUNTS:
-            result = simulate(index, num_tus=tus, policy=policy)
+            result = passes[(policy, tus)].by_name[workload_name]
             row.append("%.2f/%2.0f%%" % (result.tpc,
                                          100 * result.hit_ratio))
         rows.append(tuple(row))
@@ -34,7 +47,7 @@ def explore(workload_name, scale=1):
         rows,
         title="%s: TPC and hit ratio per policy" % workload_name))
 
-    ideal = simulate_infinite(index)
+    ideal = infinite.by_name[workload_name]
     print()
     print("idealized (infinite TUs, oracle iteration counts): "
           "TPC %.1f over %d cycles for %d instructions"

@@ -1,17 +1,20 @@
 """Quickstart: detect loops and speculate threads on a tiny program.
 
-Builds a small program with the mini-language, traces it, runs the
-dynamic loop detector (the paper's CLS), and simulates thread control
-speculation on a 4-context machine.
+Builds a small program with the mini-language, traces it, and runs the
+whole paper pipeline -- loop statistics (the CLS detector) and thread
+control speculation on 2/4/8-context machines -- as composable analysis
+passes over ONE replay of the trace (`repro.analysis`).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import LoopDetector, compute_loop_statistics
-from repro.core.speculation import simulate
+from repro.analysis import LoopStatisticsPass, SpeculationPass, \
+    analyze_trace
 from repro.cpu import trace_control_flow
 from repro.lang import Assign, For, Index, Module, Return, Store, Var, \
     compile_module
+
+TU_COUNTS = (2, 4, 8)
 
 
 def build_program():
@@ -41,18 +44,22 @@ def main():
     print("executed %d instructions (%d control transfers)"
           % (trace.total_instructions, len(trace.records)))
 
-    # 2. Dynamic loop detection with a 16-entry CLS (paper section 2).
-    index = LoopDetector(cls_capacity=16).run(trace)
-    stats = compute_loop_statistics(index, "quickstart")
+    # 2. One streaming replay feeds every pass: loop detection with a
+    #    16-entry CLS (paper section 2) and thread control speculation
+    #    (section 3) under the STR policy at three machine sizes.
+    passes = [LoopStatisticsPass()] + \
+        [SpeculationPass(num_tus=tus, policy="str") for tus in TU_COUNTS]
+    results = analyze_trace(passes, trace, name="quickstart",
+                            cls_capacity=16)
+
+    stats = results[0]["quickstart"]
     print("detected %d static loops, %d executions, "
           "%.1f iterations/execution"
           % (stats.static_loops, stats.executions,
              stats.iterations_per_execution))
 
-    # 3. Thread control speculation (paper section 3): 4 thread units,
-    #    STR allocation policy.
-    for tus in (2, 4, 8):
-        result = simulate(index, num_tus=tus, policy="str")
+    for tus, by_name in zip(TU_COUNTS, results[1:]):
+        result = by_name["quickstart"]
         print("%2d TUs: TPC %.2f  hit ratio %5.1f%%  (%d speculations)"
               % (tus, result.tpc, 100 * result.hit_ratio,
                  result.speculation_events))

@@ -3,6 +3,8 @@
 Runs the section-4 data-speculation study on one workload: control-flow
 path stability and how well last-value+stride predictors capture live-in
 registers and memory locations -- the per-program view behind Figure 8.
+Uses the :class:`DataSpecPass` analysis, so it composes with any other
+pass in the same suite (and shares its full trace with them).
 
 Run:  python examples/value_prediction.py [workload]
       python examples/value_prediction.py swim
@@ -10,16 +12,21 @@ Run:  python examples/value_prediction.py [workload]
 
 import sys
 
-from repro.core.dataspec import DataSpecStats, DataSpeculationAnalyzer
+from repro.analysis import AnalysisSuite, DataSpecPass
+from repro.core.dataspec import DataSpecStats
+from repro.pipeline import SimulationSession
 from repro.util.fmt import format_table
-from repro.workloads import get, names
+from repro.workloads import names
 
 
 def analyze(workload_name, max_instructions=120_000):
-    workload = get(workload_name)
-    trace = workload.full_trace(scale=1,
-                                max_instructions=max_instructions)
-    stats = DataSpeculationAnalyzer().analyze(trace, workload_name)
+    session = SimulationSession(workloads=(workload_name,),
+                                max_instructions=max_instructions,
+                                cache_dir=None)
+    suite = AnalysisSuite()
+    dataspec = suite.add(DataSpecPass(max_instructions))
+    session.analyze(suite)
+    stats = dataspec.by_name[workload_name]
 
     print(format_table(DataSpecStats.FIGURE8_HEADERS, [stats.as_row()],
                        title="%s: data speculation statistics (%%)"

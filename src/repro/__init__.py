@@ -10,7 +10,12 @@ The package layers:
 * :mod:`repro.core` -- the paper's contribution: dynamic loop detection
   (CLS), loop history tables (LET/LIT), thread control speculation with
   the IDLE/STR/STR(i) policies, and the data-speculation study.
-* :mod:`repro.experiments` -- one module per table/figure of the paper.
+* :mod:`repro.analysis` -- the streaming analysis API: composable
+  passes fed from one event-stream replay per workload.
+* :mod:`repro.pipeline` -- parallel tracing, the on-disk trace cache,
+  and the session whose ``analyze()`` drives the passes.
+* :mod:`repro.experiments` -- one registered analysis per table/figure
+  of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,44 @@
+"""Composable streaming analyses over one event-stream replay.
+
+The public experiment API (see ``docs/ANALYSIS.md``): an
+:class:`Analysis` implements ``begin``/``feed``/``finish``/``result``,
+an :class:`AnalysisSuite` fans one workload replay out to every
+registered pass, and :meth:`SimulationSession.analyze(suite)
+<repro.pipeline.session.SimulationSession.analyze>` streams cached
+trace records through the canonical loop detector into the suite --
+exactly one replay per workload, however many experiments are
+registered.
+"""
+
+from repro.analysis.base import Analysis, WorkloadContext
+from repro.analysis.driver import analyze_trace
+from repro.analysis.passes import (
+    DataSpecPass,
+    LoopStatisticsPass,
+    SpeculationPass,
+    shared_dataspec_stats,
+    shared_simulate,
+    shared_table_sim,
+)
+from repro.analysis.registry import (
+    analysis_names,
+    make_analysis,
+    register_analysis,
+)
+from repro.analysis.suite import AnalysisSuite
+
+__all__ = [
+    "Analysis",
+    "AnalysisSuite",
+    "DataSpecPass",
+    "LoopStatisticsPass",
+    "SpeculationPass",
+    "WorkloadContext",
+    "analysis_names",
+    "analyze_trace",
+    "make_analysis",
+    "register_analysis",
+    "shared_dataspec_stats",
+    "shared_simulate",
+    "shared_table_sim",
+]

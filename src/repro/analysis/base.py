@@ -1,0 +1,106 @@
+"""The streaming analysis protocol.
+
+The paper's premise is that loop behaviour can be extracted
+*incrementally from the dynamic instruction stream*; this package
+extends that idea to the whole experiment layer.  An :class:`Analysis`
+is one measurement pass over a workload's single event-stream replay:
+the session (or the standalone :func:`~repro.analysis.driver.
+analyze_trace` driver) replays each workload's control-flow records
+through one canonical :class:`~repro.core.detector.LoopDetector` and
+fans the resulting loop events out to every registered pass, so *all*
+requested experiments ride one replay per workload.
+
+Lifecycle, per workload::
+
+    begin(ctx)                 # reset per-workload state
+    feed_record(record)        # every CF record (only if wants_records)
+    feed(event)                # every loop event, incl. end-of-trace flush
+    finish(ctx)                # ctx.index now holds the completed LoopIndex
+    ...                        # next workload: begin(ctx) again
+    result()                   # once, after every workload finished
+
+``feed`` must be incremental: it may keep per-workload accumulators but
+must not assume the full event list exists.  Passes that need the
+completed loop index as an oracle (the speculation engine reads future
+iteration boundaries) do their work in ``finish`` against ``ctx.index``
+-- the single index shared by every pass, not a per-experiment copy.
+
+``abort(ctx)`` discards partial per-workload state: the session calls
+it when a cached trace proves corrupt mid-stream, then re-traces and
+calls ``begin`` again for the same workload.  Suite-level accumulators
+(sums across workloads) must therefore only be updated in ``finish``,
+never in ``feed``.
+"""
+
+
+class WorkloadContext:
+    """Everything a pass may need to know about the workload being
+    replayed.
+
+    ``total_instructions`` is known from the start (the trace header
+    carries it), so passes can size prefixes up front.  ``index`` is
+    ``None`` until the replay completes; it is set before ``finish``.
+    ``detector`` is the live canonical detector -- :meth:`execution`
+    resolves an event's ``exec_id`` to its (mutable) execution record,
+    which is complete by the time that execution's end event is fed.
+    ``shared`` is a per-workload scratch dict for values several passes
+    want to compute exactly once (e.g. the full-trace data-speculation
+    statistics shared by figure8 and the extensions study).
+    """
+
+    __slots__ = ("name", "workload", "scale", "cls_capacity",
+                 "total_instructions", "detector", "index", "shared")
+
+    def __init__(self, name, total_instructions, workload=None, scale=1,
+                 cls_capacity=16, detector=None):
+        self.name = name
+        self.workload = workload
+        self.scale = scale
+        self.cls_capacity = cls_capacity
+        self.total_instructions = total_instructions
+        self.detector = detector
+        self.index = None
+        self.shared = {}
+
+    def execution(self, exec_id):
+        """The live execution record behind *exec_id* (complete once its
+        :class:`~repro.core.events.ExecutionEnd` has been fed)."""
+        return self.detector.executions[exec_id]
+
+    def __repr__(self):
+        return ("WorkloadContext(%r, total=%d, scale=%d)"
+                % (self.name, self.total_instructions, self.scale))
+
+
+class Analysis:
+    """Base class for streaming analysis passes.
+
+    Subclasses override the lifecycle hooks they need; every hook has a
+    no-op default except :meth:`result`.  Set :attr:`wants_records` to
+    receive raw control-flow records via :meth:`feed_record` in addition
+    to loop events (branch predictors and CLS-capacity sweeps need the
+    record stream; most passes only need events).
+    """
+
+    #: True to receive every CF record through :meth:`feed_record`.
+    wants_records = False
+
+    def begin(self, ctx):
+        """Start a workload; must fully reset per-workload state."""
+
+    def feed_record(self, record):
+        """One control-flow record (only called when ``wants_records``)."""
+
+    def feed(self, event):
+        """One loop event from the canonical detector."""
+
+    def abort(self, ctx):
+        """Discard partial state for the current workload; ``begin``
+        will be called again before any further feeding."""
+
+    def finish(self, ctx):
+        """Workload replay complete; ``ctx.index`` is available."""
+
+    def result(self):
+        """The pass's final product, after all workloads finished."""
+        raise NotImplementedError

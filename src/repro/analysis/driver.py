@@ -1,0 +1,42 @@
+"""Standalone single-pass driver for in-memory traces.
+
+:func:`analyze_trace` runs the same replay loop the session uses, but
+over a trace you already hold -- the path for custom programs that are
+not registered workloads (see ``examples/quickstart.py``).
+"""
+
+from repro.core.cls import DEFAULT_CAPACITY
+from repro.core.detector import LoopDetector
+
+from repro.analysis.base import WorkloadContext
+from repro.analysis.suite import AnalysisSuite
+
+
+def analyze_trace(analyses, trace, name="program", workload=None,
+                  scale=1, cls_capacity=DEFAULT_CAPACITY):
+    """Replay *trace* once, feeding every pass in *analyses*.
+
+    *analyses* is an :class:`AnalysisSuite` or an iterable of passes;
+    *trace* is a :class:`~repro.trace.stream.CFTrace`.  Returns the list
+    of each pass's :meth:`result`, in order (or the suite's results).
+    """
+    suite = analyses if isinstance(analyses, AnalysisSuite) \
+        else AnalysisSuite(analyses)
+    detector = LoopDetector(cls_capacity=cls_capacity)
+    ctx = WorkloadContext(name, trace.total_instructions,
+                          workload=workload, scale=scale,
+                          cls_capacity=cls_capacity, detector=detector)
+    suite.begin(ctx)
+    wants_records = suite.wants_records
+    feed = suite.feed
+    detect = detector.feed
+    for record in trace.records:
+        if wants_records:
+            suite.feed_record(record)
+        for event in detect(record):
+            feed(event)
+    for event in detector.finish(trace.total_instructions):
+        feed(event)
+    ctx.index = detector.index(trace.total_instructions)
+    suite.finish(ctx)
+    return suite.results()

@@ -1,0 +1,167 @@
+"""Reusable building-block passes.
+
+These are the generic measurements the experiment modules (and the
+example scripts) compose: per-workload loop statistics, speculation
+simulations, and the shared full-trace data-speculation study.
+"""
+
+from repro.core.events import ExecutionEnd, SingleIteration
+from repro.core.loopstats import LoopStatistics
+from repro.core.speculation import simulate, simulate_infinite
+from repro.core.dataspec import DataSpeculationAnalyzer
+from repro.core.tables import POLICY_LRU, TableHitRatioSimulator
+
+from repro.analysis.base import Analysis
+
+
+class LoopStatisticsPass(Analysis):
+    """Incremental Table-1 statistics, one :class:`LoopStatistics` per
+    workload.
+
+    Every execution record is complete when its
+    :class:`~repro.core.events.ExecutionEnd` (or
+    :class:`~repro.core.events.SingleIteration`) event arrives -- the
+    CLS guarantees exactly one terminating event per execution, end of
+    trace included -- so the aggregation never needs the index.
+    """
+
+    def __init__(self):
+        self.by_name = {}
+        self._ctx = None
+        self._stats = None
+
+    def begin(self, ctx):
+        self._ctx = ctx
+        self._stats = LoopStatistics(ctx.name)
+        self._stats.total_instructions = ctx.total_instructions
+
+    def feed(self, event):
+        etype = type(event)
+        if etype is ExecutionEnd or etype is SingleIteration:
+            self._stats.observe(self._ctx.execution(event.exec_id))
+
+    def abort(self, ctx):
+        self._stats = None
+        self._ctx = None
+
+    def finish(self, ctx):
+        self.by_name[ctx.name] = self._stats.finalize()
+        self._stats = None
+        self._ctx = None
+
+    def result(self):
+        return self.by_name
+
+
+class SpeculationPass(Analysis):
+    """Thread-control speculation per workload.
+
+    The engine is an *oracle*: at spawn time it reads the speculated
+    iterations' future boundary sequence numbers from the loop index,
+    so it runs in ``finish`` against the completed ``ctx.index`` --
+    still one trace replay, with the event list shared by every pass.
+    ``num_tus=None`` selects the idealized infinite-TU study.
+    """
+
+    def __init__(self, num_tus=4, policy="str", **kwargs):
+        self.num_tus = num_tus
+        self.policy = policy
+        self.kwargs = kwargs
+        self.by_name = {}
+
+    def finish(self, ctx):
+        if self.num_tus is None:
+            result = simulate_infinite(ctx.index, name=ctx.name)
+        else:
+            result = simulate(ctx.index, num_tus=self.num_tus,
+                              policy=self.policy, name=ctx.name,
+                              **self.kwargs)
+        self.by_name[ctx.name] = result
+
+    def result(self):
+        return self.by_name
+
+
+#: ``ctx.shared`` key prefix for shared LET/LIT hit-ratio simulators.
+_TABLE_SIM_KEY = "table-sim"
+
+
+def shared_table_sim(ctx, let_entries, lit_entries, policy=POLICY_LRU):
+    """A :class:`TableHitRatioSimulator` shared across passes for this
+    replay; returns ``(sim, owned)``.
+
+    Several experiments sweep the same table configuration (figure4's
+    size-2/4 LRU pairs reappear in the replacement-policy ablation).
+    Exactly one pass — the one that sees ``owned=True`` — must feed the
+    simulator each loop event; every pass may read its counters at
+    ``finish``, by which point all events have been fed.
+    """
+    key = (_TABLE_SIM_KEY, let_entries, lit_entries, policy)
+    sim = ctx.shared.get(key)
+    if sim is not None:
+        return sim, False
+    sim = TableHitRatioSimulator(let_entries, lit_entries, policy)
+    ctx.shared[key] = sim
+    return sim, True
+
+
+#: ``ctx.shared`` key prefix for memoized speculation simulations.
+_SIMULATE_KEY = "simulate"
+
+
+def shared_simulate(ctx, num_tus, policy):
+    """A default-configuration speculation simulation, computed at most
+    once per replay no matter how many passes ask.
+
+    Several experiments request the exact same deterministic run
+    (figure6's STR sweep reappears inside figure7; table2's STR(3) with
+    4 TUs too), so the single-pass suite runs each distinct
+    ``(num_tus, policy)`` once and shares the result.  The returned
+    :class:`SpeculationResult` is shared — treat it as read-only.
+    Non-default configurations (disable tables, bounded LETs,
+    ``count_waiting=False``) mutate or change the run; call
+    :func:`repro.core.speculation.simulate` directly for those.
+    """
+    key = (_SIMULATE_KEY, num_tus, policy)
+    result = ctx.shared.get(key)
+    if result is None:
+        result = simulate(ctx.index, num_tus=num_tus, policy=policy,
+                          name=ctx.name)
+        ctx.shared[key] = result
+    return result
+
+
+#: ``ctx.shared`` key prefix for memoized data-speculation statistics.
+_DATASPEC_KEY = "dataspec-stats"
+
+
+def shared_dataspec_stats(ctx, max_instructions):
+    """The full-trace data-speculation statistics for this workload,
+    computed at most once per replay no matter how many passes ask
+    (figure8 and the extensions study share one full trace and one
+    analysis)."""
+    key = (_DATASPEC_KEY, max_instructions)
+    stats = ctx.shared.get(key)
+    if stats is None:
+        trace = ctx.workload.full_trace(
+            ctx.scale, max_instructions=max_instructions)
+        analyzer = DataSpeculationAnalyzer(cls_capacity=ctx.cls_capacity)
+        stats = analyzer.analyze(trace, ctx.name)
+        ctx.shared[key] = stats
+    return stats
+
+
+class DataSpecPass(Analysis):
+    """Per-workload section-4 data-speculation statistics (full trace,
+    bounded to *max_instructions*), shared through ``ctx.shared``."""
+
+    def __init__(self, max_instructions):
+        self.max_instructions = max_instructions
+        self.by_name = {}
+
+    def finish(self, ctx):
+        self.by_name[ctx.name] = shared_dataspec_stats(
+            ctx, self.max_instructions)
+
+    def result(self):
+        return self.by_name

@@ -1,0 +1,87 @@
+"""The analysis multiplexer: one replay feeds every registered pass."""
+
+
+class AnalysisSuite:
+    """An ordered collection of :class:`~repro.analysis.base.Analysis`
+    passes sharing one event-stream replay.
+
+    The suite is itself shaped like an analysis: the session calls the
+    same lifecycle hooks on it and it fans each one out to every
+    registered pass.  Record fan-out only touches the passes that
+    declared ``wants_records`` (the hot path: records vastly outnumber
+    loop events).
+    """
+
+    def __init__(self, analyses=()):
+        self._analyses = []
+        self._names = []
+        for analysis in analyses:
+            self.add(analysis)
+        self._record_consumers = ()
+        self._event_consumers = ()
+
+    def add(self, analysis, name=None):
+        """Register a pass (optionally under *name*); returns it."""
+        if name is None:
+            name = type(analysis).__name__
+        self._analyses.append(analysis)
+        self._names.append(name)
+        return analysis
+
+    @property
+    def analyses(self):
+        return list(self._analyses)
+
+    @property
+    def names(self):
+        return list(self._names)
+
+    def __len__(self):
+        return len(self._analyses)
+
+    def __getitem__(self, name):
+        """The first pass registered under *name*."""
+        try:
+            return self._analyses[self._names.index(name)]
+        except ValueError:
+            raise KeyError("no analysis named %r in this suite"
+                           % name) from None
+
+    @property
+    def wants_records(self):
+        return any(a.wants_records for a in self._analyses)
+
+    # -- lifecycle fan-out ---------------------------------------------------
+
+    def begin(self, ctx):
+        from repro.analysis.base import Analysis
+
+        # Hot-path pruning: records/events only reach passes that
+        # actually consume them (oracle passes override finish only).
+        self._record_consumers = tuple(
+            a for a in self._analyses if a.wants_records)
+        self._event_consumers = tuple(
+            a for a in self._analyses
+            if type(a).feed is not Analysis.feed)
+        for analysis in self._analyses:
+            analysis.begin(ctx)
+
+    def feed_record(self, record):
+        for analysis in self._record_consumers:
+            analysis.feed_record(record)
+
+    def feed(self, event):
+        for analysis in self._event_consumers:
+            analysis.feed(event)
+
+    def abort(self, ctx):
+        for analysis in self._analyses:
+            analysis.abort(ctx)
+
+    def finish(self, ctx):
+        for analysis in self._analyses:
+            analysis.finish(ctx)
+
+    def results(self):
+        """Every pass's :meth:`result`, in registration order."""
+        return [analysis.result() for analysis in self._analyses]

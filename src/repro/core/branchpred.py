@@ -120,23 +120,59 @@ def closing_branch_pcs(cf_trace):
     return pcs
 
 
+class BranchPredictionStream:
+    """Single-pass accuracy measurement for several predictors at once.
+
+    Whether a branch counts as loop-closing depends on the *whole*
+    trace (a pc is closing if it was ever observed taken backward), so
+    the stream keeps per-pc tallies and classifies them only in
+    :meth:`reports` -- the totals come out identical to a two-pass
+    replay against a precomputed closing set, in one pass.
+    """
+
+    def __init__(self, predictors):
+        self.predictors = list(predictors)
+        self._per_pc = {}      # pc -> [total, correct_0, correct_1, ...]
+        self._closing = set()
+
+    def feed(self, record):
+        """Account one control-flow record (non-branches are ignored)."""
+        if record.kind != _K_BRANCH:
+            return
+        pc = record.pc
+        taken = record.taken
+        tallies = self._per_pc.get(pc)
+        if tallies is None:
+            tallies = self._per_pc[pc] = [0] * (len(self.predictors) + 1)
+        tallies[0] += 1
+        for slot, predictor in enumerate(self.predictors, start=1):
+            if predictor.predict(pc) == taken:
+                tallies[slot] += 1
+            predictor.update(pc, taken)
+        if taken and record.target is not None and record.target <= pc:
+            self._closing.add(pc)
+
+    def reports(self, name="workload"):
+        """One :class:`BranchPredictionReport` per predictor, in order."""
+        reports = [BranchPredictionReport(name)
+                   for _ in self.predictors]
+        closing = self._closing
+        for pc, tallies in self._per_pc.items():
+            total = tallies[0]
+            for slot, report in enumerate(reports, start=1):
+                correct = tallies[slot]
+                if pc in closing:
+                    report.closing_total += total
+                    report.closing_correct += correct
+                else:
+                    report.other_total += total
+                    report.other_correct += correct
+        return reports
+
+
 def measure_branch_prediction(cf_trace, predictor, name="workload"):
     """Replay every conditional branch through *predictor*."""
-    closers = closing_branch_pcs(cf_trace)
-    report = BranchPredictionReport(name)
-    predict = predictor.predict
-    update = predictor.update
+    stream = BranchPredictionStream([predictor])
     for rec in cf_trace.records:
-        if rec.kind != _K_BRANCH:
-            continue
-        correct = predict(rec.pc) == rec.taken
-        update(rec.pc, rec.taken)
-        if rec.pc in closers:
-            report.closing_total += 1
-            if correct:
-                report.closing_correct += 1
-        else:
-            report.other_total += 1
-            if correct:
-                report.other_correct += 1
-    return report
+        stream.feed(rec)
+    return stream.reports(name)[0]

@@ -14,13 +14,19 @@ executions.
 
 
 class LoopStatistics:
-    """Aggregated Table-1 row for one workload."""
+    """Aggregated Table-1 row for one workload.
+
+    Accumulates incrementally: call :meth:`observe` with each completed
+    :class:`~repro.core.detector.LoopExecutionRecord` as its execution
+    ends, then :meth:`finalize` once the stream is exhausted.
+    :func:`compute_loop_statistics` does both over a finished index.
+    """
 
     __slots__ = ("name", "total_instructions", "static_loops", "executions",
                  "iterations", "measured_iterations",
                  "measured_iteration_instructions", "nesting_sum",
                  "max_nesting", "single_iteration_executions",
-                 "overflow_drops")
+                 "overflow_drops", "observed_loops")
 
     def __init__(self, name="workload"):
         self.name = name
@@ -34,6 +40,29 @@ class LoopStatistics:
         self.max_nesting = 0
         self.single_iteration_executions = 0
         self.overflow_drops = 0
+        self.observed_loops = set()
+
+    def observe(self, rec):
+        """Fold one completed execution record into the aggregates."""
+        self.observed_loops.add(rec.loop)
+        self.executions += 1
+        iterations = rec.iterations if rec.iterations is not None else \
+            rec.detected_iterations + 1
+        self.iterations += iterations
+        if iterations == 1:
+            self.single_iteration_executions += 1
+        lengths = rec.iteration_lengths()
+        self.measured_iterations += len(lengths)
+        self.measured_iteration_instructions += sum(lengths)
+        self.nesting_sum += rec.depth
+        if rec.depth > self.max_nesting:
+            self.max_nesting = rec.depth
+        return self
+
+    def finalize(self):
+        """Derive the counts that need the whole stream; returns self."""
+        self.static_loops = len(self.observed_loops)
+        return self
 
     @property
     def iterations_per_execution(self):
@@ -78,20 +107,6 @@ def compute_loop_statistics(index, name="workload"):
     :class:`LoopStatistics`."""
     stats = LoopStatistics(name)
     stats.total_instructions = index.total_instructions
-    loops = set()
     for rec in index.executions.values():
-        loops.add(rec.loop)
-        stats.executions += 1
-        iterations = rec.iterations if rec.iterations is not None else \
-            rec.detected_iterations + 1
-        stats.iterations += iterations
-        if iterations == 1:
-            stats.single_iteration_executions += 1
-        lengths = rec.iteration_lengths()
-        stats.measured_iterations += len(lengths)
-        stats.measured_iteration_instructions += sum(lengths)
-        stats.nesting_sum += rec.depth
-        if rec.depth > stats.max_nesting:
-            stats.max_nesting = rec.depth
-    stats.static_loops = len(loops)
-    return stats
+        stats.observe(rec)
+    return stats.finalize()

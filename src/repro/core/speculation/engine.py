@@ -31,11 +31,7 @@ from repro.core.events import (
 )
 from repro.core.predictors import IterationCountPredictor
 from repro.core.speculation.metrics import SpeculationResult
-from repro.core.speculation.policies import (
-    OracleAllPolicy,
-    SpawnContext,
-    make_policy,
-)
+from repro.core.speculation.policies import OracleAllPolicy, make_policy
 from repro.core.tables import LoopHistoryTable
 
 
@@ -78,6 +74,11 @@ class SpeculationEngine:
     the oracle policy (Figure 5's limit study).
     """
 
+    __slots__ = ("policy", "num_tus", "let_capacity", "count_waiting",
+                 "disable_table", "_index", "_executions", "_result",
+                 "_now", "_pos", "_threads", "_spec_count", "_let",
+                 "_stack", "_skip_prediction")
+
     def __init__(self, num_tus=4, policy="str", let_capacity=None,
                  count_waiting=True, disable_table=None):
         self.policy = make_policy(policy)
@@ -95,9 +96,18 @@ class SpeculationEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, index, name="workload"):
-        """Simulate over a :class:`~repro.core.detector.LoopIndex`."""
+    def begin(self, index, name="workload"):
+        """Arm the engine for one simulation over *index*.
+
+        The engine consumes the event stream incrementally through
+        :meth:`feed`, but it is an *oracle*: spawning threads reads the
+        speculated iterations' future boundary sequence numbers from
+        the index, so *index* must be the completed
+        :class:`~repro.core.detector.LoopIndex` of the trace whose
+        events are about to be fed.
+        """
         self._index = index
+        self._executions = index.executions
         self._result = SpeculationResult(
             name, self.num_tus if self.num_tus is not None else "inf",
             self.policy.name)
@@ -108,30 +118,47 @@ class SpeculationEngine:
         self._spec_count = 0
         self._let = LoopHistoryTable(self.let_capacity)
         self._stack = []            # (exec_id, loop), outermost first
+        # Hot-path shortcut: skipping the LET prediction lookup is only
+        # legal when the policy ignores it AND the lookup cannot change
+        # table state (an unbounded LET has no LRU evictions to skew).
+        self._skip_prediction = (not self.policy.needs_prediction
+                                 and self.let_capacity is None)
+        return self
 
-        for event in index.events:
-            if event.seq > self._pos:
-                self._now += event.seq - self._pos
-                self._pos = event.seq
-            etype = type(event)
-            if etype is IterationStart:
-                self._on_iteration(event)
-            elif etype is ExecutionStart:
-                self._on_execution_start(event)
-            elif etype is ExecutionEnd:
-                self._on_execution_end(event)
-            elif etype is SingleIteration:
-                self._let_update(event.loop, 1)
+    def feed(self, event):
+        """Advance the machine through one loop event."""
+        if event.seq > self._pos:
+            self._now += event.seq - self._pos
+            self._pos = event.seq
+        etype = type(event)
+        if etype is IterationStart:
+            self._on_iteration(event)
+        elif etype is ExecutionStart:
+            self._on_execution_start(event)
+        elif etype is ExecutionEnd:
+            self._on_execution_end(event)
+        elif etype is SingleIteration:
+            self._let_update(event.loop, 1)
 
-        if index.total_instructions > self._pos:
-            self._now += index.total_instructions - self._pos
-            self._pos = index.total_instructions
+    def finish(self):
+        """Run out the post-loop tail and return the result."""
+        if self._index.total_instructions > self._pos:
+            self._now += self._index.total_instructions - self._pos
+            self._pos = self._index.total_instructions
         self._result.total_cycles = self._now
         self._result.unresolved_at_end = self._spec_count
         result = self._result
         if not self.count_waiting:
             result.credit_waiting = result.credit_executing
         return result
+
+    def run(self, index, name="workload"):
+        """Simulate over a :class:`~repro.core.detector.LoopIndex`."""
+        self.begin(index, name)
+        feed = self.feed
+        for event in index.events:
+            feed(event)
+        return self.finish()
 
     # -- event handlers -------------------------------------------------------
 
@@ -142,7 +169,11 @@ class SpeculationEngine:
             self._promote(threads.pop(0), event)
             if not threads:
                 del self._threads[exec_id]
-        self._spawn(event)
+        # Hot path: skip the spawn attempt outright while every TU is
+        # busy (the common case at small TU counts).
+        num_tus = self.num_tus
+        if num_tus is None or num_tus - 1 - self._spec_count > 0:
+            self._spawn(event)
 
     def _on_execution_start(self, event):
         self._stack.append((event.exec_id, event.loop))
@@ -195,14 +226,16 @@ class SpeculationEngine:
             self.disable_table.note(thread.loop, correct=True)
 
     def _spawn(self, event):
-        idle = self._idle_tus()
+        num_tus = self.num_tus
+        idle = float("inf") if num_tus is None \
+            else num_tus - 1 - self._spec_count
         if idle <= 0:
             return
         if self.disable_table is not None \
                 and self.disable_table.blocked(event.loop):
             return
         exec_id = event.exec_id
-        rec = self._index.execution(exec_id)
+        rec = self._executions[exec_id]
         total_iterations = rec.iterations \
             if rec.iterations is not None \
             else len(rec.iter_seqs) + 1
@@ -215,10 +248,11 @@ class SpeculationEngine:
                 and iter_seqs[last_covered - 1] <= self._pos:
             last_covered += 1
 
-        ctx = SpawnContext(idle, event.iteration, last_covered,
-                           self._let_prediction(event.loop),
-                           total_iterations)
-        count = self.policy.spawn_count(ctx)
+        prediction = (None, None) if self._skip_prediction \
+            else self._let_prediction(event.loop)
+        count = self.policy.spawn_count_fast(
+            idle, event.iteration, last_covered, prediction,
+            total_iterations)
         if count > idle:
             count = idle
         if count <= 0:
@@ -264,11 +298,6 @@ class SpeculationEngine:
             break
 
     # -- helpers ------------------------------------------------------------------
-
-    def _idle_tus(self):
-        if self.num_tus is None:
-            return float("inf")
-        return self.num_tus - 1 - self._spec_count
 
     def _let_prediction(self, loop):
         entry = self._let.lookup(loop)

@@ -14,6 +14,12 @@ class SpeculationResult:
     two.
     """
 
+    __slots__ = ("name", "num_tus", "policy_name", "total_cycles",
+                 "total_instructions", "speculation_events",
+                 "threads_spawned", "promoted", "squashed_misspec",
+                 "squashed_policy", "credit_waiting", "credit_executing",
+                 "instr_to_verif_total", "resolved", "unresolved_at_end")
+
     def __init__(self, name, num_tus, policy_name):
         self.name = name
         self.num_tus = num_tus

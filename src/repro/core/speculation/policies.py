@@ -39,7 +39,14 @@ class SpawnContext:
 
 
 class Policy:
-    """Base class; subclasses override :meth:`spawn_count`."""
+    """Base class; subclasses override :meth:`spawn_count`.
+
+    :meth:`spawn_count_fast` is the engine's hot path: it receives the
+    same values as plain arguments so the built-in policies avoid one
+    :class:`SpawnContext` allocation per loop iteration.  Custom
+    policies only need ``spawn_count``; the default fast path wraps the
+    arguments for them.
+    """
 
     #: STR(i) nesting limit; None disables the squash rule.
     nesting_limit = None
@@ -47,10 +54,20 @@ class Policy:
     #: Set for the oracle policy; the engine validates TU finiteness.
     requires_finite_tus = True
 
+    #: False when :meth:`spawn_count` never reads ``ctx.prediction``;
+    #: lets the engine skip the LET lookup on the hot path (only when
+    #: that lookup cannot change table state, i.e. unbounded LET).
+    needs_prediction = True
+
     name = "base"
 
     def spawn_count(self, ctx):
         raise NotImplementedError
+
+    def spawn_count_fast(self, idle_tus, iteration, last_covered,
+                         prediction, oracle_total):
+        return self.spawn_count(SpawnContext(
+            idle_tus, iteration, last_covered, prediction, oracle_total))
 
     def __repr__(self):
         return "%s()" % type(self).__name__
@@ -60,9 +77,14 @@ class IdlePolicy(Policy):
     """Allocate every idle TU (paper's IDLE)."""
 
     name = "IDLE"
+    needs_prediction = False
 
     def spawn_count(self, ctx):
         return ctx.idle_tus
+
+    def spawn_count_fast(self, idle_tus, iteration, last_covered,
+                         prediction, oracle_total):
+        return idle_tus
 
 
 class StrPolicy(Policy):
@@ -71,14 +93,20 @@ class StrPolicy(Policy):
     name = "STR"
 
     def spawn_count(self, ctx):
-        count, mode = ctx.prediction
+        return self.spawn_count_fast(
+            ctx.idle_tus, ctx.iteration, ctx.last_covered,
+            ctx.prediction, ctx.oracle_total)
+
+    def spawn_count_fast(self, idle_tus, iteration, last_covered,
+                         prediction, oracle_total):
+        count, mode = prediction
         if mode is None:
             # Neither a count nor a stride is known: behave like IDLE.
-            return ctx.idle_tus
-        remaining = count - ctx.last_covered
+            return idle_tus
+        remaining = count - last_covered
         if remaining <= 0:
             return 0
-        return min(ctx.idle_tus, remaining)
+        return min(idle_tus, remaining)
 
 
 class StrIPolicy(StrPolicy):
@@ -99,10 +127,16 @@ class OracleAllPolicy(Policy):
 
     name = "ALL"
     requires_finite_tus = False
+    needs_prediction = False
 
     def spawn_count(self, ctx):
         remaining = ctx.oracle_total - ctx.last_covered
         return max(0, remaining)
+
+    def spawn_count_fast(self, idle_tus, iteration, last_covered,
+                         prediction, oracle_total):
+        remaining = oracle_total - last_covered
+        return remaining if remaining > 0 else 0
 
 
 def make_policy(spec):

@@ -144,8 +144,9 @@ class TableHitRatioSimulator:
     executions completed since insertion.  LIT hit: at an iteration
     start, the loop is present with >= 2 iterations completed since
     insertion.  First iterations are never tested (they are undetected
-    until they finish).  Usable as a detector listener or replayed over a
-    stored event list via :meth:`replay`.
+    until they finish).  Fully incremental: usable as a detector
+    listener, fed one event at a time (:meth:`feed`), or replayed over
+    a stored event list via :meth:`replay`.
     """
 
     def __init__(self, let_entries, lit_entries, policy=POLICY_LRU):
@@ -189,6 +190,9 @@ class TableHitRatioSimulator:
             self._insert_both(event.loop)
             self._complete_iteration(event.loop)
             self._complete_execution(event.loop)
+
+    #: Streaming-analysis alias: one loop event at a time.
+    feed = on_event
 
     # -- accesses ------------------------------------------------------------
 

@@ -6,95 +6,235 @@
    confirmation cycles vs only its executing cycles (DESIGN.md choice).
 3. **CLS capacity** (section 2.2): how small a CLS starts dropping
    live loops (the paper argues 16 entries never overflow on SPEC95).
+
+All three ride the shared replay: the replacement sweep feeds one
+table-simulator pair per (size, policy) with each loop event, and the
+CLS sweep feeds one detector per capacity with each record -- no
+per-ablation re-replays.
 """
 
-from repro.core.detector import LoopDetector
-from repro.core.speculation import simulate
-from repro.core.tables import (
-    POLICY_LRU,
-    POLICY_NESTING_AWARE,
-    TableHitRatioSimulator,
-)
+from repro.analysis import Analysis, register_analysis, \
+    shared_simulate, shared_table_sim
+from repro.core.cls import CurrentLoopStack
+from repro.core.events import ExecutionStart, SingleIteration
+from repro.core.tables import POLICY_LRU, POLICY_NESTING_AWARE
 from repro.experiments.report import ExperimentResult
 
-
-def replacement_policy_ablation(runner, sizes=(2, 4)):
-    rows = []
-    for size in sizes:
-        ratios = {}
-        for policy in (POLICY_LRU, POLICY_NESTING_AWARE):
-            let_h = let_a = lit_h = lit_a = 0
-            for _name, index in runner.indexes():
-                sim = TableHitRatioSimulator(size, size, policy)
-                sim.replay(index.events)
-                let_h += sim.let_hits
-                let_a += sim.let_accesses
-                lit_h += sim.lit_hits
-                lit_a += sim.lit_accesses
-            ratios[policy] = (let_h / let_a if let_a else 0.0,
-                              lit_h / lit_a if lit_a else 0.0)
-        lru = ratios[POLICY_LRU]
-        aware = ratios[POLICY_NESTING_AWARE]
-        rows.append((size, round(100 * lru[0], 2),
-                     round(100 * aware[0], 2),
-                     round(100 * lru[1], 2), round(100 * aware[1], 2)))
-    return ExperimentResult(
-        "Ablation: LRU vs nesting-aware replacement",
-        ("#entries", "LET lru %", "LET aware %", "LIT lru %",
-         "LIT aware %"),
-        rows,
-        notes=["paper section 2.3.2: improvement is negligible"],
-    )
+REPLACEMENT_SIZES = (2, 4)
+REPLACEMENT_POLICIES = (POLICY_LRU, POLICY_NESTING_AWARE)
+CLS_CAPACITIES = (2, 4, 8, 16)
+WAITING_NUM_TUS = 4
 
 
-def waiting_accounting_ablation(runner, num_tus=4):
-    rows = []
-    for name, index in runner.indexes():
-        incl = simulate(index, num_tus=num_tus, policy="str", name=name,
-                        count_waiting=True)
-        excl = simulate(index, num_tus=num_tus, policy="str", name=name,
-                        count_waiting=False)
-        rows.append((name, round(incl.tpc, 2), round(excl.tpc, 2)))
-    avg_incl = sum(r[1] for r in rows) / len(rows)
-    avg_excl = sum(r[2] for r in rows) / len(rows)
-    rows.insert(0, ("AVG", round(avg_incl, 2), round(avg_excl, 2)))
-    return ExperimentResult(
-        "Ablation: TPC accounting of waiting threads (STR, %d TUs)"
-        % num_tus,
-        ("program", "TPC incl. waiting", "TPC executing only"),
-        rows,
-        notes=["DESIGN.md counts waiting cycles; this bounds the effect"],
-    )
+ALL_PARTS = ("replacement", "waiting", "cls")
 
 
-def cls_capacity_ablation(runner, capacities=(2, 4, 8, 16)):
-    rows = []
-    for capacity in capacities:
-        overflowed = 0
-        executions = 0
-        for workload in runner.workloads:
-            detector = LoopDetector(cls_capacity=capacity)
-            index = detector.run(runner.trace(workload.name))
-            overflowed += detector.cls.overflow_count
-            executions += len(index.executions)
-        rows.append((capacity, overflowed,
-                     round(100.0 * overflowed / executions, 3)
-                     if executions else 0.0))
-    return ExperimentResult(
-        "Ablation: CLS capacity vs dropped live loops",
-        ("CLS entries", "overflow drops", "% of executions"),
-        rows,
-        notes=["paper: 16 entries never overflow on SPEC95 (max "
-               "nesting 11)"],
-    )
+@register_analysis("ablations")
+class AblationsAnalysis(Analysis):
+    def __init__(self, sizes=REPLACEMENT_SIZES,
+                 capacities=CLS_CAPACITIES, num_tus=WAITING_NUM_TUS,
+                 parts=ALL_PARTS):
+        unknown = set(parts) - set(ALL_PARTS)
+        if unknown:
+            raise ValueError("unknown ablation parts: %s"
+                             % ", ".join(sorted(unknown)))
+        self.parts = tuple(parts)
+        self.sizes = sizes
+        self.capacities = capacities
+        self.num_tus = num_tus
+        # Records are only needed for the CLS capacity sweep.
+        self.wants_records = "cls" in self.parts
+        # replacement sweep: (size, policy) -> [let_h, let_a, lit_h, lit_a]
+        self._replacement = {(size, policy): [0, 0, 0, 0]
+                             for size in sizes
+                             for policy in REPLACEMENT_POLICIES}
+        self._waiting_rows = []
+        # CLS sweep: capacity -> [overflow drops, executions]
+        self._cls = {capacity: [0, 0] for capacity in capacities}
+        self._sims = None
+        self._owned = ()
+        self._stacks = None
+        self._stack_list = ()
+
+    def begin(self, ctx):
+        if "replacement" in self.parts:
+            # Table simulators are shared per configuration across the
+            # suite (figure4 sweeps the same LRU sizes); only the
+            # owning pass feeds each one.
+            self._sims = {}
+            owned = []
+            for size, policy in self._replacement:
+                sim, own = shared_table_sim(ctx, size, size, policy)
+                self._sims[(size, policy)] = sim
+                if own:
+                    owned.append(sim)
+            self._owned = tuple(owned)
+        if "cls" in self.parts:
+            # The sweep only asks how often each CLS size drops a live
+            # loop, so it feeds bare CurrentLoopStacks (no event list,
+            # no execution records) and counts execution starts.  The
+            # entry matching the session's own capacity is exactly the
+            # canonical detector; it is read from the context at finish.
+            self._canonical_capacity = ctx.cls_capacity
+            self._stacks = {
+                capacity: [CurrentLoopStack(capacity=capacity), 0]
+                for capacity in self.capacities
+                if capacity != self._canonical_capacity}
+            self._stack_list = tuple(self._stacks.values())
+
+    def feed_record(self, record):
+        seq = record.seq
+        pc = record.pc
+        kind = record.kind
+        taken = record.taken
+        target = record.target
+        for entry in self._stack_list:
+            events = entry[0].process(seq, pc, kind, taken, target)
+            if events:
+                entry[1] += sum(
+                    1 for event in events
+                    if type(event) is ExecutionStart
+                    or type(event) is SingleIteration)
+
+    def feed(self, event):
+        for sim in self._owned:
+            sim.on_event(event)
+
+    def abort(self, ctx):
+        self._sims = None
+        self._owned = ()
+        self._stacks = None
+        self._stack_list = ()
+
+    def finish(self, ctx):
+        if "replacement" in self.parts:
+            for key, sim in self._sims.items():
+                totals = self._replacement[key]
+                totals[0] += sim.let_hits
+                totals[1] += sim.let_accesses
+                totals[2] += sim.lit_hits
+                totals[3] += sim.lit_accesses
+        if "waiting" in self.parts:
+            # One run answers both accountings: with count_waiting=False
+            # the engine reports tpc == tpc_executing of the same run.
+            incl = shared_simulate(ctx, self.num_tus, "str")
+            self._waiting_rows.append((ctx.name, round(incl.tpc, 2),
+                                       round(incl.tpc_executing, 2)))
+        if "cls" in self.parts:
+            for capacity in self.capacities:
+                entry = self._stacks.get(capacity)
+                if entry is not None:
+                    # flush() emits only ExecutionEnds: neither count
+                    # moves.
+                    overflowed = entry[0].overflow_count
+                    executions = entry[1]
+                else:
+                    overflowed = ctx.detector.cls.overflow_count
+                    executions = len(ctx.index.executions)
+                totals = self._cls[capacity]
+                totals[0] += overflowed
+                totals[1] += executions
+        self._sims = None
+        self._owned = ()
+        self._stacks = None
+        self._stack_list = ()
+
+    # -- the three tables ---------------------------------------------------
+
+    def replacement_result(self):
+        rows = []
+        for size in self.sizes:
+            ratios = {}
+            for policy in REPLACEMENT_POLICIES:
+                let_h, let_a, lit_h, lit_a = \
+                    self._replacement[(size, policy)]
+                ratios[policy] = (let_h / let_a if let_a else 0.0,
+                                  lit_h / lit_a if lit_a else 0.0)
+            lru = ratios[POLICY_LRU]
+            aware = ratios[POLICY_NESTING_AWARE]
+            rows.append((size, round(100 * lru[0], 2),
+                         round(100 * aware[0], 2),
+                         round(100 * lru[1], 2),
+                         round(100 * aware[1], 2)))
+        return ExperimentResult(
+            "Ablation: LRU vs nesting-aware replacement",
+            ("#entries", "LET lru %", "LET aware %", "LIT lru %",
+             "LIT aware %"),
+            rows,
+            notes=["paper section 2.3.2: improvement is negligible"],
+        )
+
+    def waiting_result(self):
+        rows = list(self._waiting_rows)
+        avg_incl = sum(r[1] for r in rows) / len(rows)
+        avg_excl = sum(r[2] for r in rows) / len(rows)
+        rows.insert(0, ("AVG", round(avg_incl, 2), round(avg_excl, 2)))
+        return ExperimentResult(
+            "Ablation: TPC accounting of waiting threads (STR, %d TUs)"
+            % self.num_tus,
+            ("program", "TPC incl. waiting", "TPC executing only"),
+            rows,
+            notes=["DESIGN.md counts waiting cycles; this bounds the "
+                   "effect"],
+        )
+
+    def cls_capacity_result(self):
+        rows = []
+        for capacity in self.capacities:
+            overflowed, executions = self._cls[capacity]
+            rows.append((capacity, overflowed,
+                         round(100.0 * overflowed / executions, 3)
+                         if executions else 0.0))
+        return ExperimentResult(
+            "Ablation: CLS capacity vs dropped live loops",
+            ("CLS entries", "overflow drops", "% of executions"),
+            rows,
+            notes=["paper: 16 entries never overflow on SPEC95 (max "
+                   "nesting 11)"],
+        )
+
+    def result(self):
+        tables = {
+            "replacement": self.replacement_result,
+            "waiting": self.waiting_result,
+            "cls": self.cls_capacity_result,
+        }
+        return [tables[part]() for part in ALL_PARTS
+                if part in self.parts]
 
 
 def run(runner):
-    return [
-        replacement_policy_ablation(runner),
-        waiting_accounting_ablation(runner),
-        cls_capacity_ablation(runner),
-    ]
+    from repro.experiments.runner import run_experiment
+    return run_experiment("ablations", runner)
+
+
+# -- single-table conveniences (tests, notebooks) ---------------------------
+
+def _run_one(runner, analysis, picker):
+    from repro.analysis import AnalysisSuite
+    runner.analyze(AnalysisSuite([analysis]))
+    return picker(analysis)
+
+
+def replacement_policy_ablation(runner, sizes=REPLACEMENT_SIZES):
+    return _run_one(runner,
+                    AblationsAnalysis(sizes=sizes,
+                                      parts=("replacement",)),
+                    AblationsAnalysis.replacement_result)
+
+
+def waiting_accounting_ablation(runner, num_tus=WAITING_NUM_TUS):
+    return _run_one(runner,
+                    AblationsAnalysis(num_tus=num_tus,
+                                      parts=("waiting",)),
+                    AblationsAnalysis.waiting_result)
+
+
+def cls_capacity_ablation(runner, capacities=CLS_CAPACITIES):
+    return _run_one(runner,
+                    AblationsAnalysis(capacities=capacities,
+                                      parts=("cls",)),
+                    AblationsAnalysis.cls_capacity_result)
 
 
 if __name__ == "__main__":

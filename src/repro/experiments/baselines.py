@@ -4,32 +4,52 @@ Supports the paper's premise that loop-closing branches are highly
 predictable -- the reason loops anchor thread speculation.  Reports
 bimodal (Smith-style, the paper's reference [8]) and gshare (two-level,
 reference [13]) accuracy split into closing vs other branches.
+
+Both predictors ride the shared record stream through one
+:class:`~repro.core.branchpred.BranchPredictionStream` per workload --
+one pass instead of the former two-passes-per-predictor replay.
 """
 
+from repro.analysis import Analysis, register_analysis
 from repro.core.branchpred import (
     BimodalPredictor,
+    BranchPredictionStream,
     GSharePredictor,
-    measure_branch_prediction,
 )
 from repro.experiments.report import ExperimentResult
 
 
-def run(runner):
-    rows = []
-    reports = {}
-    totals = {"closing_c": 0, "closing_t": 0, "other_c": 0, "other_t": 0,
-              "gshare_c": 0, "gshare_t": 0}
-    for name, _index in runner.indexes():
-        trace = runner.trace(name)
-        bimodal = measure_branch_prediction(trace, BimodalPredictor(),
-                                            name)
-        gshare = measure_branch_prediction(trace, GSharePredictor(), name)
-        reports[name] = {"bimodal": bimodal, "gshare": gshare}
-        rows.append((name,
-                     round(100 * bimodal.closing_accuracy, 2),
-                     round(100 * bimodal.other_accuracy, 2),
-                     round(100 * bimodal.overall_accuracy, 2),
-                     round(100 * gshare.overall_accuracy, 2)))
+@register_analysis("baselines")
+class BaselinesAnalysis(Analysis):
+    wants_records = True
+
+    def __init__(self):
+        self._rows = []
+        self._reports = {}
+        self._totals = {"closing_c": 0, "closing_t": 0, "other_c": 0,
+                        "other_t": 0, "gshare_c": 0, "gshare_t": 0}
+        self._stream = None
+
+    def begin(self, ctx):
+        self._stream = BranchPredictionStream(
+            [BimodalPredictor(), GSharePredictor()])
+
+    def feed_record(self, record):
+        self._stream.feed(record)
+
+    def abort(self, ctx):
+        self._stream = None
+
+    def finish(self, ctx):
+        bimodal, gshare = self._stream.reports(ctx.name)
+        self._stream = None
+        self._reports[ctx.name] = {"bimodal": bimodal, "gshare": gshare}
+        self._rows.append((ctx.name,
+                           round(100 * bimodal.closing_accuracy, 2),
+                           round(100 * bimodal.other_accuracy, 2),
+                           round(100 * bimodal.overall_accuracy, 2),
+                           round(100 * gshare.overall_accuracy, 2)))
+        totals = self._totals
         totals["closing_c"] += bimodal.closing_correct
         totals["closing_t"] += bimodal.closing_total
         totals["other_c"] += bimodal.other_correct
@@ -37,24 +57,35 @@ def run(runner):
         totals["gshare_c"] += (gshare.closing_correct
                                + gshare.other_correct)
         totals["gshare_t"] += gshare.closing_total + gshare.other_total
-    suite_row = (
-        "SUITE",
-        round(100 * totals["closing_c"] / max(1, totals["closing_t"]), 2),
-        round(100 * totals["other_c"] / max(1, totals["other_t"]), 2),
-        round(100 * (totals["closing_c"] + totals["other_c"])
-              / max(1, totals["closing_t"] + totals["other_t"]), 2),
-        round(100 * totals["gshare_c"] / max(1, totals["gshare_t"]), 2),
-    )
-    rows.insert(0, suite_row)
-    return ExperimentResult(
-        "Baseline: branch prediction accuracy (bimodal / gshare)",
-        ("program", "closing %", "other %", "bimodal all %",
-         "gshare all %"),
-        rows,
-        notes=["the paper's premise: loop-closing branches are highly "
-               "predictable"],
-        extra={"reports": reports},
-    )
+
+    def result(self):
+        totals = self._totals
+        suite_row = (
+            "SUITE",
+            round(100 * totals["closing_c"]
+                  / max(1, totals["closing_t"]), 2),
+            round(100 * totals["other_c"] / max(1, totals["other_t"]), 2),
+            round(100 * (totals["closing_c"] + totals["other_c"])
+                  / max(1, totals["closing_t"] + totals["other_t"]), 2),
+            round(100 * totals["gshare_c"]
+                  / max(1, totals["gshare_t"]), 2),
+        )
+        rows = list(self._rows)
+        rows.insert(0, suite_row)
+        return ExperimentResult(
+            "Baseline: branch prediction accuracy (bimodal / gshare)",
+            ("program", "closing %", "other %", "bimodal all %",
+             "gshare all %"),
+            rows,
+            notes=["the paper's premise: loop-closing branches are "
+                   "highly predictable"],
+            extra={"reports": self._reports},
+        )
+
+
+def run(runner):
+    from repro.experiments.runner import run_experiment
+    return run_experiment("baselines", runner)
 
 
 if __name__ == "__main__":

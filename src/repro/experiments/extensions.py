@@ -1,7 +1,8 @@
 """Extensions the paper describes but does not evaluate.
 
 1. **Speculation disable table** (section 2.3.2): blacklist loops whose
-   speculation hit rate is poor.  Measures the hit-ratio gain and the TPC effect for STR with 4 TUs.
+   speculation hit rate is poor.  Measures the hit-ratio gain and the
+   TPC effect for STR with 4 TUs.
 2. **Synchronization-free thread estimate** (sections 2.3 / 4 and the
    conclusions): threads whose live-in values all predict correctly
    "can proceed in parallel, without any synchronization".  Combines
@@ -9,74 +10,88 @@
    thread-level parallelism that survives once inter-thread data
    dependences must be honoured: only the speculative (TPC - 1) share
    scales with the fully-predicted iteration fraction.
+
+The sync-free estimate reuses the same full-trace data-speculation
+statistics figure8 computes (shared through ``ctx.shared``), so running
+both experiments costs one full trace per workload, not two.
 """
 
-from repro.core.dataspec import DataSpeculationAnalyzer
+from repro.analysis import Analysis, register_analysis, \
+    shared_dataspec_stats, shared_simulate
 from repro.core.speculation import SpeculationDisableTable, simulate
 from repro.experiments.figure8 import FULL_TRACE_LIMIT
 from repro.experiments.report import ExperimentResult
 
 
-def disable_table_extension(runner, num_tus=4):
-    rows = []
-    for name, index in runner.indexes():
-        plain = simulate(index, num_tus=num_tus, policy="str", name=name)
+@register_analysis("extensions")
+class ExtensionsAnalysis(Analysis):
+    def __init__(self, num_tus=4, full_trace_limit=FULL_TRACE_LIMIT):
+        self.num_tus = num_tus
+        self.full_trace_limit = full_trace_limit
+        self._disable_rows = []
+        self._sync_rows = []
+
+    def finish(self, ctx):
+        # 1. Disable table.
+        plain = shared_simulate(ctx, self.num_tus, "str")
         table = SpeculationDisableTable(capacity=16, min_samples=5,
                                         hit_threshold=0.5)
-        guarded = simulate(index, num_tus=num_tus, policy="str",
-                           name=name, disable_table=table)
-        rows.append((name,
-                     round(100 * plain.hit_ratio, 2),
-                     round(100 * guarded.hit_ratio, 2),
-                     round(plain.tpc, 2), round(guarded.tpc, 2),
-                     len(table)))
-    avg = tuple(round(sum(r[i] for r in rows) / len(rows), 2)
-                for i in range(1, 5))
-    rows.insert(0, ("AVG",) + avg + ("",))
-    return ExperimentResult(
-        "Extension: speculation disable table (STR, %d TUs)" % num_tus,
-        ("program", "hit %", "hit+table %", "TPC", "TPC+table",
-         "blocked loops"),
-        rows,
-        notes=["section 2.3.2's 'loops with a poor prediction rate' "
-               "blacklist; threshold 0.5 over 5 samples",
-               "on these trace lengths most mispredictions resolve only "
-               "at a loop's final execution, so blocks install late and "
-               "barely move the aggregate -- the table matters on "
-               "longer runs"],
-    )
+        guarded = simulate(ctx.index, num_tus=self.num_tus, policy="str",
+                           name=ctx.name, disable_table=table)
+        self._disable_rows.append((ctx.name,
+                                   round(100 * plain.hit_ratio, 2),
+                                   round(100 * guarded.hit_ratio, 2),
+                                   round(plain.tpc, 2),
+                                   round(guarded.tpc, 2),
+                                   len(table)))
+        # 2. Synchronization-free bound.
+        data = shared_dataspec_stats(ctx, self.full_trace_limit)
+        sync_free_tpc = 1.0 + (plain.tpc - 1.0) * data.all_data
+        self._sync_rows.append((ctx.name, round(plain.tpc, 2),
+                                round(100 * data.all_data, 2),
+                                round(sync_free_tpc, 2)))
 
+    def disable_table_result(self):
+        rows = list(self._disable_rows)
+        avg = tuple(round(sum(r[i] for r in rows) / len(rows), 2)
+                    for i in range(1, 5))
+        rows.insert(0, ("AVG",) + avg + ("",))
+        return ExperimentResult(
+            "Extension: speculation disable table (STR, %d TUs)"
+            % self.num_tus,
+            ("program", "hit %", "hit+table %", "TPC", "TPC+table",
+             "blocked loops"),
+            rows,
+            notes=["section 2.3.2's 'loops with a poor prediction rate' "
+                   "blacklist; threshold 0.5 over 5 samples",
+                   "on these trace lengths most mispredictions resolve "
+                   "only at a loop's final execution, so blocks install "
+                   "late and barely move the aggregate -- the table "
+                   "matters on longer runs"],
+        )
 
-def sync_free_estimate(runner, num_tus=4):
-    analyzer = DataSpeculationAnalyzer(cls_capacity=runner.cls_capacity)
-    rows = []
-    for workload in runner.workloads:
-        index = runner.index(workload.name)
-        control = simulate(index, num_tus=num_tus, policy="str",
-                           name=workload.name)
-        trace = workload.full_trace(runner.scale,
-                                    max_instructions=FULL_TRACE_LIMIT)
-        data = analyzer.analyze(trace, workload.name)
-        sync_free_tpc = 1.0 + (control.tpc - 1.0) * data.all_data
-        rows.append((workload.name, round(control.tpc, 2),
-                     round(100 * data.all_data, 2),
-                     round(sync_free_tpc, 2)))
-    avg = tuple(round(sum(r[i] for r in rows) / len(rows), 2)
-                for i in range(1, 4))
-    rows.insert(0, ("AVG",) + avg)
-    return ExperimentResult(
-        "Extension: synchronization-free TPC bound (STR, %d TUs)"
-        % num_tus,
-        ("program", "control TPC", "all-data %", "sync-free TPC"),
-        rows,
-        notes=["lower bound: iterations with any unpredicted live-in "
-               "are charged as fully serialized; real machines "
-               "synchronize per value and land in between"],
-    )
+    def sync_free_result(self):
+        rows = list(self._sync_rows)
+        avg = tuple(round(sum(r[i] for r in rows) / len(rows), 2)
+                    for i in range(1, 4))
+        rows.insert(0, ("AVG",) + avg)
+        return ExperimentResult(
+            "Extension: synchronization-free TPC bound (STR, %d TUs)"
+            % self.num_tus,
+            ("program", "control TPC", "all-data %", "sync-free TPC"),
+            rows,
+            notes=["lower bound: iterations with any unpredicted live-in "
+                   "are charged as fully serialized; real machines "
+                   "synchronize per value and land in between"],
+        )
+
+    def result(self):
+        return [self.disable_table_result(), self.sync_free_result()]
 
 
 def run(runner):
-    return [disable_table_extension(runner), sync_free_estimate(runner)]
+    from repro.experiments.runner import run_experiment
+    return run_experiment("extensions", runner)
 
 
 if __name__ == "__main__":

@@ -5,35 +5,67 @@ iteration the moment a loop execution is detected.  The paper plots each
 benchmark twice -- the whole run and the first 10^9 instructions -- to
 justify evaluating reduced runs; we mirror that with the full trace and
 a quarter-length prefix.
+
+The prefix no longer needs a second trace replay: a second detector
+rides the same record stream, fed only the records inside the prefix
+(``total_instructions`` is known from the trace header up front).
 """
 
+from repro.analysis import Analysis, register_analysis
 from repro.core.detector import LoopDetector
 from repro.core.speculation import simulate_infinite
 from repro.experiments.report import ExperimentResult
-from repro.trace.stream import clip
+
+
+@register_analysis("figure5")
+class Figure5Analysis(Analysis):
+    wants_records = True
+
+    def __init__(self):
+        self._rows = []
+        self._series = {}
+        self._prefix_detector = None
+        self._prefix_limit = None
+
+    def begin(self, ctx):
+        # clip() semantics: a quarter prefix, at least one instruction,
+        # never longer than the trace itself.
+        self._prefix_limit = min(max(1, ctx.total_instructions // 4),
+                                 ctx.total_instructions)
+        self._prefix_detector = LoopDetector(
+            cls_capacity=ctx.cls_capacity)
+
+    def feed_record(self, record):
+        if record.seq < self._prefix_limit:
+            self._prefix_detector.feed(record)
+
+    def abort(self, ctx):
+        self._prefix_detector = None
+
+    def finish(self, ctx):
+        full = simulate_infinite(ctx.index, name=ctx.name)
+        self._prefix_detector.finish(self._prefix_limit)
+        reduced_index = self._prefix_detector.index(self._prefix_limit)
+        reduced = simulate_infinite(reduced_index, name=ctx.name)
+        self._rows.append((ctx.name, round(full.tpc, 2),
+                           round(reduced.tpc, 2)))
+        self._series[ctx.name] = {"full": full, "reduced": reduced}
+        self._prefix_detector = None
+
+    def result(self):
+        return ExperimentResult(
+            "Figure 5: TPC for infinite TUs (full run vs 1/4 prefix)",
+            ("program", "TPC (all instr)", "TPC (prefix)"),
+            self._rows,
+            notes=["log-scale figure in the paper; the prefix behaving "
+                   "like the full run justifies reduced evaluations"],
+            extra={"series": self._series},
+        )
 
 
 def run(runner):
-    rows = []
-    series = {}
-    for name, index in runner.indexes():
-        full = simulate_infinite(index, name=name)
-        reduced_trace = clip(runner.trace(name),
-                             max(1, runner.trace(name).total_instructions
-                                 // 4))
-        reduced_index = LoopDetector(
-            cls_capacity=runner.cls_capacity).run(reduced_trace)
-        reduced = simulate_infinite(reduced_index, name=name)
-        rows.append((name, round(full.tpc, 2), round(reduced.tpc, 2)))
-        series[name] = {"full": full, "reduced": reduced}
-    return ExperimentResult(
-        "Figure 5: TPC for infinite TUs (full run vs 1/4 prefix)",
-        ("program", "TPC (all instr)", "TPC (prefix)"),
-        rows,
-        notes=["log-scale figure in the paper; the prefix behaving like "
-               "the full run justifies reduced evaluations"],
-        extra={"series": series},
-    )
+    from repro.experiments.runner import run_experiment
+    return run_experiment("figure5", runner)
 
 
 if __name__ == "__main__":

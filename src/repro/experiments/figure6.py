@@ -4,36 +4,49 @@ The paper's headline numbers: suite-average TPC of 1.65 / 2.6 / 4 / 6.2
 for 2 / 4 / 8 / 16 thread units.
 """
 
-from repro.core.speculation import simulate
+from repro.analysis import Analysis, register_analysis, shared_simulate
 from repro.experiments.report import ExperimentResult
 
 TU_COUNTS = (2, 4, 8, 16)
 
 
-def run(runner):
-    rows = []
-    results = {}
-    sums = {tus: 0.0 for tus in TU_COUNTS}
-    count = 0
-    for name, index in runner.indexes():
-        row = [name]
-        results[name] = {}
-        for tus in TU_COUNTS:
-            result = simulate(index, num_tus=tus, policy="str", name=name)
-            results[name][tus] = result
-            sums[tus] += result.tpc
+@register_analysis("figure6")
+class Figure6Analysis(Analysis):
+    def __init__(self, tu_counts=TU_COUNTS):
+        self.tu_counts = tu_counts
+        self._rows = []
+        self._results = {}
+        self._sums = {tus: 0.0 for tus in tu_counts}
+        self._count = 0
+
+    def finish(self, ctx):
+        row = [ctx.name]
+        self._results[ctx.name] = {}
+        for tus in self.tu_counts:
+            result = shared_simulate(ctx, tus, "str")
+            self._results[ctx.name][tus] = result
+            self._sums[tus] += result.tpc
             row.append(round(result.tpc, 2))
-        rows.append(tuple(row))
-        count += 1
-    avg_row = ["AVG"] + [round(sums[tus] / count, 2) for tus in TU_COUNTS]
-    rows.insert(0, tuple(avg_row))
-    return ExperimentResult(
-        "Figure 6: TPC under STR for 2/4/8/16 TUs",
-        ("program",) + tuple("%d TUs" % t for t in TU_COUNTS),
-        rows,
-        notes=["paper averages: 1.65 / 2.6 / 4 / 6.2"],
-        extra={"results": results},
-    )
+        self._rows.append(tuple(row))
+        self._count += 1
+
+    def result(self):
+        rows = list(self._rows)
+        avg_row = ["AVG"] + [round(self._sums[tus] / self._count, 2)
+                             for tus in self.tu_counts]
+        rows.insert(0, tuple(avg_row))
+        return ExperimentResult(
+            "Figure 6: TPC under STR for 2/4/8/16 TUs",
+            ("program",) + tuple("%d TUs" % t for t in self.tu_counts),
+            rows,
+            notes=["paper averages: 1.65 / 2.6 / 4 / 6.2"],
+            extra={"results": self._results},
+        )
+
+
+def run(runner):
+    from repro.experiments.runner import run_experiment
+    return run_experiment("figure6", runner)
 
 
 if __name__ == "__main__":

@@ -6,37 +6,50 @@ STR(i) favours inner loops, which matters once data dependences are
 considered -- the paper recommends STR(3)).
 """
 
-from repro.core.speculation import simulate
+from repro.analysis import Analysis, register_analysis, shared_simulate
 from repro.experiments.report import ExperimentResult
 
 TU_COUNTS = (2, 4, 8, 16)
 POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
 
 
-def run(runner):
-    averages = {}
-    indexes = runner.indexes()
-    for policy in POLICIES:
-        for tus in TU_COUNTS:
-            total = 0.0
-            for name, index in indexes:
-                total += simulate(index, num_tus=tus, policy=policy,
-                                  name=name).tpc
-            averages[(policy, tus)] = total / len(indexes)
+@register_analysis("figure7")
+class Figure7Analysis(Analysis):
+    def __init__(self, policies=POLICIES, tu_counts=TU_COUNTS):
+        self.policies = policies
+        self.tu_counts = tu_counts
+        self._totals = {(policy, tus): 0.0
+                        for policy in policies for tus in tu_counts}
+        self._count = 0
 
-    rows = []
-    for policy in POLICIES:
-        rows.append((policy.upper(),)
-                    + tuple(round(averages[(policy, tus)], 2)
-                            for tus in TU_COUNTS))
-    return ExperimentResult(
-        "Figure 7: average TPC per speculation policy",
-        ("policy",) + tuple("%d TUs" % t for t in TU_COUNTS),
-        rows,
-        notes=["expected ordering: STR >= IDLE > STR(3) > STR(2) > "
-               "STR(1)"],
-        extra={"averages": averages},
-    )
+    def finish(self, ctx):
+        for policy in self.policies:
+            for tus in self.tu_counts:
+                self._totals[(policy, tus)] += \
+                    shared_simulate(ctx, tus, policy).tpc
+        self._count += 1
+
+    def result(self):
+        averages = {key: total / self._count
+                    for key, total in self._totals.items()}
+        rows = []
+        for policy in self.policies:
+            rows.append((policy.upper(),)
+                        + tuple(round(averages[(policy, tus)], 2)
+                                for tus in self.tu_counts))
+        return ExperimentResult(
+            "Figure 7: average TPC per speculation policy",
+            ("policy",) + tuple("%d TUs" % t for t in self.tu_counts),
+            rows,
+            notes=["expected ordering: STR >= IDLE > STR(3) > STR(2) > "
+                   "STR(1)"],
+            extra={"averages": averages},
+        )
+
+
+def run(runner):
+    from repro.experiments.runner import run_experiment
+    return run_experiment("figure7", runner)
 
 
 if __name__ == "__main__":

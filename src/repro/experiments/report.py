@@ -53,6 +53,26 @@ class ExperimentResult:
             fh.write(self.to_csv())
         return path
 
+    def to_json(self, indent=2):
+        """Render name/headers/rows/notes as a JSON object.
+
+        ``extra`` is deliberately excluded: it carries arbitrary
+        analysis objects for programmatic consumers, not serializable
+        table data.
+        """
+        import json
+
+        return json.dumps(
+            {"name": self.name, "headers": list(self.headers),
+             "rows": [list(row) for row in self.rows],
+             "notes": list(self.notes)},
+            indent=indent)
+
+    def save_json(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
     def __repr__(self):
         return "ExperimentResult(%r, %d rows)" % (self.name,
                                                   len(self.rows))

@@ -1,11 +1,14 @@
 """Experiment command-line entry point over the simulation pipeline.
 
-Tracing is the dominant cost of every experiment, so the heavy lifting
-lives in :class:`repro.pipeline.SimulationSession`: workloads trace in
-parallel across ``--jobs`` processes, traces persist in a content-keyed
-on-disk cache (``--cache-dir``, on by default; disable with
-``--no-cache``), and loop detection streams records from the cache.
-Every experiment shares one trace and one detector pass per workload.
+Every experiment is a registered streaming
+:class:`~repro.analysis.base.Analysis`; the runner composes the
+requested ones into a single :class:`~repro.analysis.suite.
+AnalysisSuite` and calls :meth:`SimulationSession.analyze
+<repro.pipeline.session.SimulationSession.analyze>` exactly once --
+one event-stream replay per workload feeds *all* selected experiments,
+however many are requested.  Tracing still fans out across ``--jobs``
+processes and persists in the content-keyed on-disk cache
+(``--cache-dir``, on by default; disable with ``--no-cache``).
 
 Usage::
 
@@ -13,6 +16,7 @@ Usage::
     python -m repro.experiments.runner table1 figure6
     python -m repro.experiments.runner all --scale 2 --jobs 4
     python -m repro.experiments.runner table2 --workloads swim,go
+    python -m repro.experiments.runner all --format csv --output-dir out/
     python -m repro.experiments.runner all --no-cache
 
 ``all`` composes with explicit names (``table1 all`` runs table1 first,
@@ -20,49 +24,54 @@ then the rest); duplicates run once.  Each experiment module is also
 directly runnable with the same flags, e.g. ``python -m
 repro.experiments.table1 --jobs 4``.
 
-The old :class:`SuiteRunner` remains as a thin deprecated shim over
-:class:`SimulationSession` (sequential, no cache — its historical
-behaviour).
+The old ``SuiteRunner`` shim is gone; construct a
+:class:`~repro.pipeline.session.SimulationSession` instead.
 """
 
 import argparse
+import os
 import sys
 import time
-import warnings
 
+from repro.analysis import AnalysisSuite, make_analysis
 from repro.pipeline import PipelineConfig, SimulationSession, \
     default_cache_dir
 from repro.workloads import SUITE_ORDER, names as workload_names
 
+#: Paper order of the experiments (the order ``all`` runs them in).
+EXPERIMENT_ORDER = (
+    "table1",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table2",
+    "figure8",
+    "ablations",
+    "baselines",
+    "extensions",
+)
 
-class SuiteRunner(SimulationSession):
-    """Deprecated sequential runner; use
-    :class:`repro.pipeline.SimulationSession`.
 
-    Kept so existing callers (benchmarks, tests) work unchanged: traces
-    inline in this process, no on-disk cache, identical memoization
-    semantics.
-    """
+def _removed(name):
+    raise ImportError(
+        "%s was removed: the sequential SuiteRunner shim is gone. "
+        "Construct repro.pipeline.SimulationSession instead (e.g. "
+        "SimulationSession(workloads=('swim', 'go'), cache_dir=None) "
+        "for the old sequential, uncached behaviour) and call "
+        "analyze()/indexes() on it." % name)
 
-    def __init__(self, scale=1, cls_capacity=16, max_instructions=None,
-                 workloads=None):
-        warnings.warn(
-            "SuiteRunner is deprecated; use "
-            "repro.pipeline.SimulationSession", DeprecationWarning,
-            stacklevel=2)
-        super().__init__(
-            PipelineConfig(scale=scale, cls_capacity=cls_capacity,
-                           max_instructions=max_instructions,
-                           jobs=1, cache_dir=None),
-            # Pass the objects themselves so unregistered / substitute
-            # Workload instances keep working, as they always did.
-            workload_objects=(list(workloads) if workloads is not None
-                              else None))
+
+def __getattr__(name):
+    if name == "SuiteRunner":
+        _removed("repro.experiments.runner.SuiteRunner")
+    raise AttributeError(name)
 
 
 def available_experiments():
-    """Name -> callable(session) for every experiment."""
-    from repro.experiments import (
+    """Name -> analysis factory for every experiment, in paper order."""
+    # Importing the modules registers their analyses.
+    from repro.experiments import (  # noqa: F401
         ablations,
         baselines,
         extensions,
@@ -74,18 +83,8 @@ def available_experiments():
         table1,
         table2,
     )
-    return {
-        "table1": table1.run,
-        "figure4": figure4.run,
-        "figure5": figure5.run,
-        "figure6": figure6.run,
-        "figure7": figure7.run,
-        "table2": table2.run,
-        "figure8": figure8.run,
-        "ablations": ablations.run,
-        "baselines": baselines.run,
-        "extensions": extensions.run,
-    }
+    from repro.analysis.registry import _REGISTRY
+    return {name: _REGISTRY[name] for name in EXPERIMENT_ORDER}
 
 
 def select_experiments(requested, available):
@@ -104,6 +103,27 @@ def select_experiments(requested, available):
             if exp not in selected:
                 selected.append(exp)
     return selected
+
+
+def build_suite(selected):
+    """An :class:`AnalysisSuite` with one registered pass per selected
+    experiment; returns ``(suite, {name: analysis})``."""
+    available_experiments()   # ensure registration
+    suite = AnalysisSuite()
+    by_name = {}
+    for name in selected:
+        by_name[name] = suite.add(make_analysis(name), name=name)
+    return suite, by_name
+
+
+def run_experiment(name, session):
+    """Run one experiment over *session*; returns its result(s).
+
+    Convenience for tests and the per-module ``run()`` helpers; to run
+    several experiments, build one suite and ``analyze`` once instead.
+    """
+    suite, _ = build_suite([name])
+    return session.analyze(suite)[0]
 
 
 def experiment_main(experiment, argv=None):
@@ -129,6 +149,27 @@ def _parse_workloads(spec, parser):
     return tuple(names)
 
 
+def _emit(name, results, fmt, output_dir):
+    """Render one experiment's result list per ``--format`` /
+    ``--output-dir``; returns the lines printed to stdout."""
+    formats = {
+        "text": (lambda r: r.render() + "\n", ".txt"),
+        "csv": (lambda r: r.to_csv(), ".csv"),
+        "json": (lambda r: r.to_json() + "\n", ".json"),
+    }
+    render, suffix = formats[fmt]
+    for i, result in enumerate(results):
+        text = render(result)
+        if output_dir is not None:
+            stem = name if len(results) == 1 else "%s-%d" % (name, i + 1)
+            path = os.path.join(output_dir, stem + suffix)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print("wrote %s" % path)
+        else:
+            print(text)
+
+
 def main(argv=None):
     experiments = available_experiments()
     parser = argparse.ArgumentParser(
@@ -149,6 +190,12 @@ def main(argv=None):
                         help="on-disk trace cache (default %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk trace cache")
+    parser.add_argument("--format", choices=("text", "csv", "json"),
+                        default="text",
+                        help="result rendering (default text)")
+    parser.add_argument("--output-dir", default=None, metavar="DIR",
+                        help="write one file per result table into DIR "
+                             "instead of printing tables to stdout")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and workloads")
     args = parser.parse_args(argv)
@@ -179,17 +226,26 @@ def main(argv=None):
         )
     except ValueError as exc:
         parser.error(str(exc))
+
+    if args.output_dir is not None:
+        os.makedirs(args.output_dir, exist_ok=True)
+
     session = SimulationSession(config)
-    for name in selected:
-        start = time.time()
-        results = experiments[name](session)
+    suite, _ = build_suite(selected)
+    start = time.time()
+    all_results = session.analyze(suite)
+    analyze_seconds = time.time() - start
+    for name, results in zip(selected, all_results):
         if not isinstance(results, list):
             results = [results]
-        for result in results:
-            print(result.render())
-            print()
-        print("[%s done in %.1fs]" % (name, time.time() - start))
+        _emit(name, results, args.format, args.output_dir)
+        # All experiments share the single replay, so per-experiment
+        # wall time no longer exists; the total is reported below.
+        print("[%s done]" % name)
         print()
+    print("[%d experiment(s), %d workload(s), %d replay(s), analyzed "
+          "in %.1fs]" % (len(selected), len(session.workloads),
+                         session.stats.replays, analyze_seconds))
     return 0
 
 

@@ -2,33 +2,62 @@
 
 Columns follow the paper: dynamic instructions, static loops, average
 iterations per execution, average instructions per iteration, and
-average/maximum nesting level.
+average/maximum nesting level.  Implemented as a streaming
+:class:`~repro.analysis.base.Analysis`: statistics accumulate as each
+loop execution's end event arrives, one suite-shared replay per
+workload.
 """
 
-from repro.core.loopstats import LoopStatistics, compute_loop_statistics
+from repro.analysis import Analysis, register_analysis
+from repro.analysis.passes import LoopStatisticsPass
+from repro.core.loopstats import LoopStatistics
 from repro.experiments.report import ExperimentResult
 
 
+@register_analysis("table1")
+class Table1Analysis(Analysis):
+    """Thin declarative wrapper: one incremental loop-statistics pass,
+    rendered in the paper's Table 1 shape."""
+
+    def __init__(self):
+        self._stats = LoopStatisticsPass()
+        self._rows = []
+        self._scale = None
+
+    def begin(self, ctx):
+        self._scale = ctx.scale
+        self._stats.begin(ctx)
+
+    def feed(self, event):
+        self._stats.feed(event)
+
+    def abort(self, ctx):
+        self._stats.abort(ctx)
+
+    def finish(self, ctx):
+        self._stats.finish(ctx)
+        self._rows.append(self._stats.by_name[ctx.name].as_row())
+
+    def result(self):
+        return ExperimentResult(
+            "Table 1: Loop statistics",
+            LoopStatistics.ROW_HEADERS,
+            self._rows,
+            notes=[
+                "instr/iter covers detected, fully delimited iterations "
+                "(the first iteration of an execution is undetected until "
+                "it finishes; see DESIGN.md)",
+                "scale=%d; the paper traces 10^9-10^11 Alpha instructions "
+                "per benchmark" % self._scale,
+            ],
+            extra={"stats": self._stats.by_name},
+        )
+
+
 def run(runner):
-    rows = []
-    stats_by_name = {}
-    for name, index in runner.indexes():
-        stats = compute_loop_statistics(index, name)
-        stats_by_name[name] = stats
-        rows.append(stats.as_row())
-    return ExperimentResult(
-        "Table 1: Loop statistics",
-        LoopStatistics.ROW_HEADERS,
-        rows,
-        notes=[
-            "instr/iter covers detected, fully delimited iterations "
-            "(the first iteration of an execution is undetected until "
-            "it finishes; see DESIGN.md)",
-            "scale=%d; the paper traces 10^9-10^11 Alpha instructions "
-            "per benchmark" % runner.scale,
-        ],
-        extra={"stats": stats_by_name},
-    )
+    """Regenerate Table 1 over *runner* (a SimulationSession)."""
+    from repro.experiments.runner import run_experiment
+    return run_experiment("table1", runner)
 
 
 if __name__ == "__main__":

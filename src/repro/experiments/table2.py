@@ -5,26 +5,38 @@ speculation, hit ratio, instructions from speculation to verification,
 and TPC.
 """
 
-from repro.core.speculation import simulate
+from repro.analysis import Analysis, register_analysis, shared_simulate
 from repro.core.speculation.metrics import SpeculationResult
 from repro.experiments.report import ExperimentResult
 
 
+@register_analysis("table2")
+class Table2Analysis(Analysis):
+    def __init__(self, num_tus=4, policy="str(3)"):
+        self.num_tus = num_tus
+        self.policy = policy
+        self._rows = []
+        self._results = {}
+
+    def finish(self, ctx):
+        result = shared_simulate(ctx, self.num_tus, self.policy)
+        self._results[ctx.name] = result
+        self._rows.append(result.as_table2_row())
+
+    def result(self):
+        return ExperimentResult(
+            "Table 2: control speculation statistics (STR(3), 4 TUs)",
+            SpeculationResult.TABLE2_HEADERS,
+            self._rows,
+            notes=["the paper reports hit ratios of 54-100% and TPC "
+                   "1.06-3.85 across SPEC95"],
+            extra={"results": self._results},
+        )
+
+
 def run(runner):
-    rows = []
-    results = {}
-    for name, index in runner.indexes():
-        result = simulate(index, num_tus=4, policy="str(3)", name=name)
-        results[name] = result
-        rows.append(result.as_table2_row())
-    return ExperimentResult(
-        "Table 2: control speculation statistics (STR(3), 4 TUs)",
-        SpeculationResult.TABLE2_HEADERS,
-        rows,
-        notes=["the paper reports hit ratios of 54-100% and TPC "
-               "1.06-3.85 across SPEC95"],
-        extra={"results": results},
-    )
+    from repro.experiments.runner import run_experiment
+    return run_experiment("table2", runner)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,11 @@
-"""The simulation session: parallel, cache-backed trace + index access.
+"""The simulation session: parallel, cache-backed streaming analysis.
 
-:class:`SimulationSession` is the one way experiments obtain
-control-flow traces and loop indexes.  It replaces the old sequential
-``SuiteRunner`` (kept as a deprecated shim in
-:mod:`repro.experiments.runner`) with a pipeline that
+:class:`SimulationSession` is the one way experiments obtain results,
+traces, and loop indexes.  Its primary entrypoint is :meth:`~
+SimulationSession.analyze`: one :class:`~repro.analysis.suite.
+AnalysisSuite` of streaming passes, fed from exactly one record-stream
+replay per workload (see ``docs/ANALYSIS.md``).  Underneath, the
+pipeline
 
 1. fans workload tracing out across a ``ProcessPoolExecutor`` when
    ``config.jobs > 1``, absorbing results in the configured workload
@@ -11,13 +13,14 @@ control-flow traces and loop indexes.  It replaces the old sequential
 2. persists traces through the content-keyed on-disk
    :class:`~repro.pipeline.cache.TraceCache`, so a warm session skips
    interpretation entirely; and
-3. builds loop indexes by streaming cached records straight into
-   :meth:`LoopDetector.feed` in bounded chunks — detection does not
-   require the full record list in memory.
+3. streams cached records straight into :meth:`LoopDetector.feed` —
+   neither detection nor analysis requires the full record list in
+   memory.
 
-The interpretation step dominates experiment cost; every experiment
-shares one trace and one detector pass per workload, exactly as before,
-but now across processes and across runs.
+The legacy per-experiment surface (:meth:`trace`, :meth:`index`,
+:meth:`indexes`) remains for interactive use; the old sequential
+``SuiteRunner`` shim is gone (construct a session with
+``cache_dir=None`` for its behaviour).
 """
 
 import dataclasses
@@ -34,25 +37,45 @@ from repro.workloads import get, suite
 class SessionStats:
     """Counters for what a session actually did (test/bench hooks)."""
 
-    __slots__ = ("traced", "cache_hits")
+    __slots__ = ("traced", "cache_hits", "replays")
 
     def __init__(self):
         self.traced = 0        #: workloads interpreted by this session
         self.cache_hits = 0    #: workloads served from the on-disk cache
+        self.replays = 0       #: full record-stream replays performed
 
     def __repr__(self):
-        return ("SessionStats(traced=%d, cache_hits=%d)"
-                % (self.traced, self.cache_hits))
+        return ("SessionStats(traced=%d, cache_hits=%d, replays=%d)"
+                % (self.traced, self.cache_hits, self.replays))
+
+
+class _CorruptStream(Exception):
+    """A cached record stream raised ValueError mid-iteration."""
+
+
+def _guard_stream(records):
+    """Re-raise the *iterator's* ValueError as :class:`_CorruptStream`
+    so truncation is distinguishable from an analysis pass raising
+    ValueError of its own."""
+    iterator = iter(records)
+    while True:
+        try:
+            record = next(iterator)
+        except StopIteration:
+            return
+        except ValueError as exc:
+            raise _CorruptStream() from exc
+        yield record
 
 
 class SimulationSession:
-    """Cache-backed, optionally parallel provider of traces and indexes.
+    """Cache-backed, optionally parallel analysis session.
 
     Construct from a frozen :class:`~repro.pipeline.config.
-    PipelineConfig` (or its keyword arguments).  The experiment-facing
-    API is unchanged from the old ``SuiteRunner``: :meth:`trace`,
-    :meth:`index`, :meth:`indexes`, plus ``scale``/``cls_capacity``/
-    ``max_instructions``/``workloads`` attributes.
+    PipelineConfig` (or its keyword arguments).  :meth:`analyze` is the
+    primary entrypoint; :meth:`trace`, :meth:`index`, :meth:`indexes`
+    (plus ``scale``/``cls_capacity``/``max_instructions``/``workloads``
+    attributes) remain for direct access.
     """
 
     def __init__(self, config=None, workload_objects=None, **kwargs):
@@ -63,8 +86,8 @@ class SimulationSession:
                             "arguments, not both")
         self.stats = SessionStats()
         if workload_objects is not None:
-            # Explicit objects (possibly unregistered) take precedence;
-            # used by the SuiteRunner shim to honour its old contract.
+            # Explicit objects (possibly unregistered) take precedence
+            # over registry lookup by name.
             self._workloads = list(workload_objects)
             names = tuple(w.name for w in self._workloads)
             if config.workloads is None:
@@ -85,7 +108,7 @@ class SimulationSession:
         self._indexes = {}
         self._sources = {}   # name -> "cache" | "traced", first touch
 
-    # -- SuiteRunner-compatible surface --------------------------------------
+    # -- direct trace/index surface ------------------------------------------
 
     @property
     def scale(self):
@@ -152,6 +175,89 @@ class SimulationSession:
         """``(name, index)`` for every workload, in configured order."""
         self.ensure_traced()
         return [(w.name, self.index(w.name)) for w in self._workloads]
+
+    # -- streaming analysis --------------------------------------------------
+
+    def analyze(self, suite):
+        """Stream every workload once through *suite*.
+
+        The single analysis entrypoint: per workload, cached trace
+        records (or the in-memory trace, or a fresh inline trace) are
+        replayed exactly once through the canonical
+        :class:`LoopDetector`; the suite receives every record and loop
+        event as it happens and each pass's ``finish`` sees the
+        completed index.  ``stats.replays`` counts the replays — one
+        per workload, however many passes are registered.
+
+        Returns ``suite.results()``.
+        """
+        self.ensure_traced()
+        for workload in self._workloads:
+            self._analyze_one(workload, suite)
+        return suite.results()
+
+    def _analyze_one(self, workload, suite):
+        name = workload.name
+        limit = self.config.limit_for(workload)
+        trace = self._traces.get(name)
+        stream = None
+        if trace is None and self._cache is not None:
+            stream = self._cache.open_records(name, self.scale, limit,
+                                              self._fingerprint(name))
+        if trace is None and stream is None:
+            trace = self.trace(name)
+
+        if trace is not None:
+            records = trace.records
+            total = trace.total_instructions
+        else:
+            self._mark(name, cached=True)
+            header, records = stream
+            total = header.total_instructions
+
+        try:
+            index = self._replay(workload, suite,
+                                 records if trace is not None
+                                 else _guard_stream(records), total)
+        except _CorruptStream:
+            # The cache entry was truncated past its (valid) header:
+            # drop the partially fed state and replay from a fresh
+            # trace (trace() re-traces; load() evicted the entry).
+            # Exceptions raised by analysis passes themselves are NOT
+            # retried — only the stream's own ValueError is wrapped.
+            suite.abort(self._context(workload, total))
+            trace = self.trace(name)
+            index = self._replay(workload, suite, trace.records,
+                                 trace.total_instructions)
+        self._indexes.setdefault(name, index)
+
+    def _context(self, workload, total, detector=None):
+        from repro.analysis.base import WorkloadContext
+
+        return WorkloadContext(
+            workload.name, total, workload=workload, scale=self.scale,
+            cls_capacity=self.config.cls_capacity, detector=detector)
+
+    def _replay(self, workload, suite, records, total):
+        """One full record-stream replay into *suite*; returns the
+        loop index built by the canonical detector along the way."""
+        detector = LoopDetector(cls_capacity=self.config.cls_capacity)
+        ctx = self._context(workload, total, detector)
+        suite.begin(ctx)
+        self.stats.replays += 1
+        wants_records = suite.wants_records
+        feed = suite.feed
+        detect = detector.feed
+        for record in records:
+            if wants_records:
+                suite.feed_record(record)
+            for event in detect(record):
+                feed(event)
+        for event in detector.finish(total):
+            feed(event)
+        ctx.index = detector.index(total)
+        suite.finish(ctx)
+        return ctx.index
 
     # -- pipeline ------------------------------------------------------------
 

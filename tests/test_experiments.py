@@ -6,9 +6,11 @@ full-suite smoke of the cheap experiments; heavyweight full-suite runs
 live in benchmarks/.
 """
 
+import os
+
 import pytest
 
-from repro.experiments import SuiteRunner, available_experiments
+from repro.experiments import SimulationSession, available_experiments
 from repro.experiments import (
     ablations,
     figure4,
@@ -19,18 +21,17 @@ from repro.experiments import (
     table1,
     table2,
 )
-from repro.workloads import get
 
 
 @pytest.fixture(scope="module")
 def small_runner():
     """Two contrasting workloads: one regular, one branchy."""
-    return SuiteRunner(workloads=[get("swim"), get("go")])
+    return SimulationSession(workloads=("swim", "go"), cache_dir=None)
 
 
 @pytest.fixture(scope="module")
 def full_runner():
-    return SuiteRunner()
+    return SimulationSession(cache_dir=None)
 
 
 class TestRunnerInfrastructure:
@@ -256,6 +257,42 @@ class TestExperimentSelection:
         with pytest.raises(SystemExit):
             main(["table1", "--workloads", "spice"])
 
-    def test_suite_runner_deprecated(self):
-        with pytest.warns(DeprecationWarning):
-            SuiteRunner(workloads=[get("swim")])
+    def test_cli_csv_format(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table1", "--workloads", "mgrid",
+                     "--no-cache", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("program,")
+        assert "mgrid" in out
+
+    def test_cli_json_format_output_dir(self, tmp_path, capsys):
+        import json
+        from repro.experiments.runner import main
+        out_dir = str(tmp_path / "results")
+        assert main(["table1", "ablations", "--workloads", "mgrid",
+                     "--no-cache", "--format", "json",
+                     "--output-dir", out_dir]) == 0
+        files = sorted(os.listdir(out_dir))
+        assert files == ["ablations-1.json", "ablations-2.json",
+                         "ablations-3.json", "table1.json"]
+        data = json.loads((tmp_path / "results" / "table1.json")
+                          .read_text())
+        assert data["headers"][0] == "program"
+        assert data["rows"][0][0] == "mgrid"
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_cli_text_output_dir(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        out_dir = str(tmp_path / "results")
+        assert main(["table1", "--workloads", "mgrid", "--no-cache",
+                     "--output-dir", out_dir]) == 0
+        text = (tmp_path / "results" / "table1.txt").read_text()
+        assert "Table 1" in text
+        assert "mgrid" in text
+
+    def test_suite_runner_removed(self):
+        with pytest.raises(ImportError, match="SimulationSession"):
+            from repro.experiments import SuiteRunner  # noqa: F401
+        with pytest.raises(ImportError, match="SimulationSession"):
+            from repro.experiments.runner import SuiteRunner  # noqa: F401,F811

@@ -241,15 +241,14 @@ class TestWorker:
 
 
 class TestUnregisteredWorkloads:
-    def test_shim_accepts_unregistered_workload_objects(self):
-        from repro.experiments import SuiteRunner
+    def test_session_accepts_unregistered_workload_objects(self):
         from repro.workloads import get
         from repro.workloads.base import Workload
         swim = get("swim")
         clone = Workload("swim-variant", swim.builder, "unregistered",
                          swim.category, default_max_instructions=LIMIT)
-        with pytest.warns(DeprecationWarning):
-            runner = SuiteRunner(workloads=[clone])
+        runner = SimulationSession(PipelineConfig(cache_dir=None),
+                                   workload_objects=[clone])
         assert runner.trace("swim-variant").total_instructions > 0
         assert len(runner.index("swim-variant")) > 0
 

@@ -44,10 +44,24 @@ class TestCsv:
         result.save_csv(str(path))
         assert path.read_text().startswith("program,value")
 
+    def test_json_round_trip(self, result):
+        import json
+        data = json.loads(result.to_json())
+        assert data["name"] == "Demo"
+        assert data["headers"] == ["program", "value"]
+        assert data["rows"] == [["swim", 1.5], ["go, jr", 2.5]]
+        assert data["notes"] == ["a note"]
+        assert "extra" not in data
+
+    def test_save_json(self, result, tmp_path):
+        import json
+        path = tmp_path / "out.json"
+        result.save_json(str(path))
+        assert json.loads(path.read_text())["name"] == "Demo"
+
     def test_real_experiment_csv(self):
-        from repro.experiments import SuiteRunner, table1
-        from repro.workloads import get
-        runner = SuiteRunner(workloads=[get("mgrid")])
+        from repro.experiments import SimulationSession, table1
+        runner = SimulationSession(workloads=("mgrid",), cache_dir=None)
         csv_text = table1.run(runner).to_csv()
         assert csv_text.splitlines()[0].startswith("program,")
         assert "mgrid" in csv_text
