@@ -23,7 +23,8 @@ def test_waiting_accounting(runner, benchmark):
     print(result.render())
     avg = result.row_for("AVG")
     # Counting waiting threads changes the suite average by only a few
-    # percent -- the DESIGN.md choice is not load-bearing.
+    # percent -- the waiting-cycles choice (docs/ARCHITECTURE.md)
+    # is not load-bearing.
     assert avg[2] <= avg[1]
     assert (avg[1] - avg[2]) / avg[1] < 0.10
 

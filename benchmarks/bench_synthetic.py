@@ -1,0 +1,127 @@
+"""Synthetic sweep wall time: generation, tracing, characterization.
+
+Measures, for a ``--count``-workload sweep of one profile:
+
+* **generate** — drawing + compiling every program from scratch,
+* **trace** — cold tracing into a fresh on-disk cache (sequential), and
+* **characterize** — the full ``characterize`` analysis over the warm
+  cache (one streamed replay per workload).
+
+Writes the numbers to ``BENCH_synthetic.json`` at the repository root
+(override with ``--output``).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_synthetic.py
+    PYTHONPATH=src python benchmarks/bench_synthetic.py \
+        --profile irregular --count 10 --seed 3
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.experiments.runner import build_suite
+from repro.pipeline import PipelineConfig, SimulationSession
+from repro.workloads import get
+from repro.workloads.synthetic import get_profile, make_workload, \
+    sweep_names
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_generate(profile, seed, count):
+    """Build + compile every sweep program from scratch."""
+    start = time.perf_counter()
+    instructions = 0
+    for i in range(count):
+        workload = make_workload(profile, seed + i)
+        instructions += len(workload.program().instructions)
+    return time.perf_counter() - start, instructions
+
+
+def bench_trace(names, cache_dir):
+    """Cold sequential tracing into *cache_dir*."""
+    session = SimulationSession(PipelineConfig(
+        workloads=names, cache_dir=cache_dir))
+    start = time.perf_counter()
+    session.ensure_traced()
+    elapsed = time.perf_counter() - start
+    assert session.stats.traced == len(names)
+    return elapsed
+
+
+def bench_characterize(names, cache_dir):
+    """The characterize suite over the warm cache."""
+    session = SimulationSession(PipelineConfig(
+        workloads=names, cache_dir=cache_dir))
+    suite, _ = build_suite(["characterize"])
+    start = time.perf_counter()
+    per_workload, summary = session.analyze(suite)[0]
+    elapsed = time.perf_counter() - start
+    assert session.stats.replays == len(names)
+    assert session.stats.traced == 0, "cache was not warm"
+    return elapsed, per_workload, summary
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the synthetic workload pipeline.")
+    parser.add_argument("--profile", default="deep-nest")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--count", type=int, default=25)
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_synthetic.json"))
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    names = tuple(sweep_names(args.profile, args.seed, args.count))
+    for name in names:
+        get(name)
+
+    gen_seconds, program_instructions = bench_generate(
+        profile, args.seed, args.count)
+    print("generate+compile %d programs: %.2fs (%d static instructions)"
+          % (args.count, gen_seconds, program_instructions))
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-synth-")
+    try:
+        trace_seconds = bench_trace(names, cache_dir)
+        print("cold trace %d workloads: %.2fs" % (args.count,
+                                                  trace_seconds))
+        char_seconds, per_workload, summary = bench_characterize(
+            names, cache_dir)
+        print("characterize (warm cache): %.2fs" % char_seconds)
+        print()
+        print(summary.render())
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    total_instr = sum(row[1] for row in per_workload.rows)
+    payload = {
+        "benchmark": "synthetic generation + trace + characterize",
+        "profile": args.profile,
+        "seed": args.seed,
+        "count": args.count,
+        "generate_seconds": round(gen_seconds, 3),
+        "trace_seconds": round(trace_seconds, 3),
+        "characterize_seconds": round(char_seconds, 3),
+        "total_seconds": round(gen_seconds + trace_seconds
+                               + char_seconds, 3),
+        "dynamic_instructions": total_instr,
+        "trace_minstr_per_second": round(
+            total_instr / trace_seconds / 1e6, 3) if trace_seconds
+        else None,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print("\nwrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

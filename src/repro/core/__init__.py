@@ -11,7 +11,8 @@ from repro.core.events import (
     LoopEvent,
     SingleIteration,
 )
-from repro.core.loopstats import LoopStatistics, compute_loop_statistics
+from repro.core.loopstats import LoopStatistics, \
+    compute_loop_statistics, loop_coverage
 from repro.core.predictors import (
     IterationCountPredictor,
     LastPlusStride,
@@ -42,6 +43,7 @@ __all__ = [
     "SingleIteration",
     "LoopStatistics",
     "compute_loop_statistics",
+    "loop_coverage",
     "IterationCountPredictor",
     "LastPlusStride",
     "StridePredictor",

@@ -4,8 +4,8 @@ Per benchmark: dynamic instruction count, static loop count, average
 iterations per execution, average instructions per iteration, and the
 average/maximum nesting level.
 
-Modelling note (see DESIGN.md): the first iteration of an execution is
-undetected until it finishes, so per-iteration instruction counts cover
+Modelling note (see docs/ARCHITECTURE.md): the first iteration of an
+execution is undetected until it finishes, so instruction counts cover
 the *detected, fully delimited* iterations -- iterations 2..n of every
 multi-iteration execution.  Iteration and execution *counts* include the
 first iterations (they are known retrospectively) and single-iteration
@@ -110,3 +110,21 @@ def compute_loop_statistics(index, name="workload"):
     for rec in index.executions.values():
         stats.observe(rec)
     return stats.finalize()
+
+
+def loop_coverage(index):
+    """Fraction of dynamic instructions spent inside detected loops.
+
+    Depth-1 (outermost; CLS depth is 1-based) executions are mutually
+    non-overlapping and contain every nested execution, so summing
+    their spans measures the paper's "time spent in loops" without
+    double counting.  Executions dropped by CLS overflow are not
+    recovered; the number is therefore a (tight, for sane capacities)
+    lower bound.
+    """
+    if not index.total_instructions:
+        return 0.0
+    covered = sum(rec.end_seq - rec.start_seq
+                  for rec in index.executions.values()
+                  if rec.depth == 1 and rec.end_seq is not None)
+    return min(1.0, covered / index.total_instructions)

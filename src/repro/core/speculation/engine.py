@@ -1,7 +1,7 @@
 """Event-driven simulation of thread control speculation (section 3).
 
-Timing model (see DESIGN.md): every thread unit retires one instruction
-per cycle; threads are contiguous regions of the dynamic instruction
+Timing model (see docs/ARCHITECTURE.md): every thread unit retires
+one instruction per cycle; threads are contiguous regions of the dynamic instruction
 stream.  Between loop events every active TU advances at the same rate,
 so the simulation walks the detector's event list and advances time by
 the sequential distance the non-speculative thread covers -- an

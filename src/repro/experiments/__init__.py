@@ -17,6 +17,7 @@ from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import (
     available_experiments,
     build_suite,
+    extra_experiments,
     run_experiment,
     select_experiments,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "SimulationSession",
     "available_experiments",
     "build_suite",
+    "extra_experiments",
     "run_experiment",
     "select_experiments",
 ]

@@ -3,7 +3,8 @@
 1. **Replacement policy** (section 2.3.2): LRU vs the nesting-aware
    insertion inhibit.  The paper found the improvement negligible.
 2. **TPC accounting**: counting a correct thread's waiting-for-
-   confirmation cycles vs only its executing cycles (DESIGN.md choice).
+   confirmation cycles vs only its executing cycles (see the
+   modelling notes in docs/ARCHITECTURE.md).
 3. **CLS capacity** (section 2.2): how small a CLS starts dropping
    live loops (the paper argues 16 entries never overflow on SPEC95).
 
@@ -174,8 +175,8 @@ class AblationsAnalysis(Analysis):
             % self.num_tus,
             ("program", "TPC incl. waiting", "TPC executing only"),
             rows,
-            notes=["DESIGN.md counts waiting cycles; this bounds the "
-                   "effect"],
+            notes=["the model counts waiting cycles (see "
+                   "docs/ARCHITECTURE.md); this bounds the effect"],
         )
 
     def cls_capacity_result(self):

@@ -45,7 +45,8 @@ class Figure8Analysis(Analysis):
                 "paper suite values: same path ~85%, with lr pred > lm "
                 "pred and all lr > all lm > all data",
                 "our compiler keeps scalars in frame memory, so induction-"
-                "variable predictability appears under lm (see DESIGN.md)",
+                "variable predictability appears under lm (see "
+                "docs/ARCHITECTURE.md)",
                 "full traces bounded to %d instructions per workload"
                 % self.full_trace_limit,
             ],

@@ -18,6 +18,9 @@ Usage::
     python -m repro.experiments.runner table2 --workloads swim,go
     python -m repro.experiments.runner all --format csv --output-dir out/
     python -m repro.experiments.runner all --no-cache
+    python -m repro.experiments.runner characterize \
+        --profile deep-nest --seed 7 --count 25
+    python -m repro.experiments.runner table1 --profile irregular
 
 ``all`` composes with explicit names (``table1 all`` runs table1 first,
 then the rest); duplicates run once.  Each experiment module is also
@@ -36,7 +39,8 @@ import time
 from repro.analysis import AnalysisSuite, make_analysis
 from repro.pipeline import PipelineConfig, SimulationSession, \
     default_cache_dir
-from repro.workloads import SUITE_ORDER, names as workload_names
+from repro.workloads import SUITE_ORDER, get as get_workload, \
+    names as workload_names
 
 #: Paper order of the experiments (the order ``all`` runs them in).
 EXPERIMENT_ORDER = (
@@ -51,6 +55,11 @@ EXPERIMENT_ORDER = (
     "baselines",
     "extensions",
 )
+
+#: Experiments beyond the paper's tables/figures.  Selectable by name
+#: but never part of ``all`` (the characterization sweep targets
+#: generated synthetic workloads, not the analog suite).
+EXTRA_EXPERIMENTS = ("characterize",)
 
 
 def _removed(name):
@@ -69,7 +78,8 @@ def __getattr__(name):
 
 
 def available_experiments():
-    """Name -> analysis factory for every experiment, in paper order."""
+    """Name -> analysis factory for every paper experiment, in paper
+    order (the ``all`` expansion; see :func:`extra_experiments`)."""
     # Importing the modules registers their analyses.
     from repro.experiments import (  # noqa: F401
         ablations,
@@ -87,13 +97,23 @@ def available_experiments():
     return {name: _REGISTRY[name] for name in EXPERIMENT_ORDER}
 
 
-def select_experiments(requested, available):
+def extra_experiments():
+    """Name -> analysis factory for the non-paper experiments."""
+    from repro.experiments import characterize  # noqa: F401
+    from repro.analysis.registry import _REGISTRY
+    return {name: _REGISTRY[name] for name in EXTRA_EXPERIMENTS}
+
+
+def select_experiments(requested, available, extras=()):
     """Expand ``all`` and de-duplicate, preserving first-seen order.
 
-    Raises :class:`ValueError` naming any unknown experiments.
+    ``all`` expands to *available* (the paper set) only; *extras* are
+    selectable by explicit name.  Raises :class:`ValueError` naming any
+    unknown experiments.
     """
     unknown = [name for name in requested
-               if name != "all" and name not in available]
+               if name != "all" and name not in available
+               and name not in extras]
     if unknown:
         raise ValueError("unknown experiments: %s" % ", ".join(unknown))
     selected = []
@@ -109,6 +129,7 @@ def build_suite(selected):
     """An :class:`AnalysisSuite` with one registered pass per selected
     experiment; returns ``(suite, {name: analysis})``."""
     available_experiments()   # ensure registration
+    extra_experiments()
     suite = AnalysisSuite()
     by_name = {}
     for name in selected:
@@ -141,11 +162,46 @@ def _parse_workloads(spec, parser):
         if not name:
             continue
         if name not in known:
-            parser.error("unknown workload %r (see --list)" % name)
+            try:
+                # synth-<profile>-<seed> resolves through the generator.
+                get_workload(name)
+            except KeyError:
+                parser.error("unknown workload %r (see --list)" % name)
         if name not in names:
             names.append(name)
     if not names:
         parser.error("--workloads selected nothing")
+    return tuple(names)
+
+
+def _synthetic_sweep(args, selected, parser):
+    """The synthetic workload tuple for this invocation, or ``None``.
+
+    ``--profile``/``--seed``/``--count`` select a generated sweep for
+    *any* experiment; ``characterize`` without an explicit workload set
+    defaults to the ``baseline`` profile.  Sweep flags that would have
+    no effect are rejected rather than silently ignored.
+    """
+    wants_sweep = args.profile is not None \
+        or any(name in EXTRA_EXPERIMENTS for name in selected)
+    if not wants_sweep or args.workloads is not None:
+        if args.profile is not None:
+            parser.error("--profile and --workloads are mutually "
+                         "exclusive")
+        if args.seed is not None or args.count is not None:
+            parser.error("--seed/--count apply to a synthetic sweep "
+                         "only (use --profile, or the characterize "
+                         "experiment without --workloads)")
+        return None
+    from repro.workloads.synthetic import sweep_names
+    try:
+        names = sweep_names(args.profile or "baseline",
+                            1 if args.seed is None else args.seed,
+                            10 if args.count is None else args.count)
+        for name in names:
+            get_workload(name)      # resolve + register up front
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
     return tuple(names)
 
 
@@ -183,7 +239,19 @@ def main(argv=None):
                         help="per-workload instruction budget override")
     parser.add_argument("--workloads", default=None, metavar="A,B,...",
                         help="comma-separated workload subset "
-                             "(default: full suite)")
+                             "(default: full suite); synth-<profile>-"
+                             "<seed> names are generated on demand")
+    parser.add_argument("--profile", default=None, metavar="NAME",
+                        help="run over a generated synthetic sweep of "
+                             "this profile instead of the analog suite "
+                             "(see --list; default for characterize: "
+                             "baseline)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="first seed of the synthetic sweep "
+                             "(default 1)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="workloads in the synthetic sweep "
+                             "(default 10)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="tracer processes (default 1: sequential)")
     parser.add_argument("--cache-dir", default=default_cache_dir(),
@@ -204,22 +272,32 @@ def main(argv=None):
         print("available experiments:")
         for name in experiments:
             print("  %s" % name)
+        for name in EXTRA_EXPERIMENTS:
+            print("  %s" % name)
         print("available workloads:")
         for name in SUITE_ORDER:
+            print("  %s" % name)
+        from repro.workloads.synthetic import profile_names
+        print("synthetic profiles (--profile, or workloads "
+              "synth-<profile>-<seed>):")
+        for name in profile_names():
             print("  %s" % name)
         return 0
 
     try:
-        selected = select_experiments(args.experiments, experiments)
+        selected = select_experiments(args.experiments, experiments,
+                                      extras=EXTRA_EXPERIMENTS)
     except ValueError as exc:
         parser.error(str(exc))
 
+    sweep = _synthetic_sweep(args, selected, parser)
     try:
         config = PipelineConfig(
             scale=args.scale,
             cls_capacity=args.cls_capacity,
             max_instructions=args.max_instructions,
-            workloads=(_parse_workloads(args.workloads, parser)
+            workloads=(sweep if sweep is not None
+                       else _parse_workloads(args.workloads, parser)
                        if args.workloads is not None else None),
             jobs=args.jobs,
             cache_dir=None if args.no_cache else args.cache_dir,

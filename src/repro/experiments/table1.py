@@ -46,7 +46,7 @@ class Table1Analysis(Analysis):
             notes=[
                 "instr/iter covers detected, fully delimited iterations "
                 "(the first iteration of an execution is undetected until "
-                "it finishes; see DESIGN.md)",
+                "it finishes; see docs/ARCHITECTURE.md)",
                 "scale=%d; the paper traces 10^9-10^11 Alpha instructions "
                 "per benchmark" % self._scale,
             ],

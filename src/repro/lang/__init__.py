@@ -42,7 +42,8 @@ from repro.lang.ast import (
     While,
     as_expr,
 )
-from repro.lang.compiler import compile_module
+from repro.lang.compiler import MAX_PARAMS, compile_module
+from repro.lang.inspect import ModuleStats, max_loop_nesting, module_stats
 from repro.lang.optimizer import optimize_module
 from repro.lang.parser import compile_source, parse_module
 
@@ -63,7 +64,9 @@ __all__ = [
     "If",
     "Index",
     "LangError",
+    "MAX_PARAMS",
     "Module",
+    "ModuleStats",
     "Poke",
     "Return",
     "Stmt",
@@ -74,6 +77,8 @@ __all__ = [
     "as_expr",
     "compile_module",
     "compile_source",
+    "max_loop_nesting",
+    "module_stats",
     "optimize_module",
     "parse_module",
 ]

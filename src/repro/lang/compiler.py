@@ -69,6 +69,10 @@ _BRANCH_FALSE = {
 
 _COMPARISONS = frozenset(_BRANCH_TRUE)
 
+#: Calling-convention limit on parameters per function (one argument
+#: register each); program generators size signatures against this.
+MAX_PARAMS = len(ARG_REGISTERS)
+
 
 def compile_module(module):
     """Compile *module* to a finalized :class:`repro.isa.Program`.
@@ -176,9 +180,9 @@ class _FunctionCompiler:
         self.emit(_OP.ST, rs1=REG_SP, rs2=REG_RA, imm=0)
         self.emit(_OP.ST, rs1=REG_SP, rs2=REG_FP, imm=1)
         self.emit(_OP.MV, rd=REG_FP, rs1=REG_SP)
-        if len(self.function.params) > len(ARG_REGISTERS):
+        if len(self.function.params) > MAX_PARAMS:
             raise LangError("%r: too many parameters (max %d)"
-                            % (self.function.name, len(ARG_REGISTERS)))
+                            % (self.function.name, MAX_PARAMS))
         for pos, param in enumerate(self.function.params):
             self.emit(_OP.ST, rs1=REG_FP, rs2=ARG_REGISTERS[pos],
                       imm=self.slots[param])
@@ -421,7 +425,7 @@ class _FunctionCompiler:
             raise LangError(
                 "%r called with %d args, expects %d"
                 % (node.func, len(node.args), len(callee.params)))
-        if len(node.args) > len(ARG_REGISTERS):
+        if len(node.args) > MAX_PARAMS:
             raise LangError("too many arguments in call to %r" % node.func)
         live = [TEMP_REGISTERS[i] for i in range(depth)]
         for reg in live:

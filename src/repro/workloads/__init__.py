@@ -1,7 +1,14 @@
-"""Synthetic SPEC95-analog workload suite (see DESIGN.md section 2)."""
+"""Synthetic SPEC95-analog workload suite (see docs/WORKLOADS.md).
+
+Two kinds of workloads live here: the 18 hand-written analogs that pin
+the paper's Table 1 rows (``suite()``/``SUITE_ORDER``) and the
+parametric ``synth-<profile>-<seed>`` programs drawn from
+:mod:`repro.workloads.synthetic` profiles, resolved lazily through
+:func:`get`.
+"""
 
 from repro.workloads.base import Workload, all_workloads, get, names, \
-    register
+    register, register_workload
 from repro.workloads.suite import SUITE_ORDER, fp_suite, integer_suite, \
     suite
 
@@ -11,6 +18,7 @@ __all__ = [
     "get",
     "names",
     "register",
+    "register_workload",
     "SUITE_ORDER",
     "fp_suite",
     "integer_suite",

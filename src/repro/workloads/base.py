@@ -69,12 +69,41 @@ def register(name, description, category,
     return wrap
 
 
+def register_workload(workload):
+    """Register an already-built :class:`Workload` object (the synthetic
+    resolver's path).
+
+    Re-registering the *same object* is a no-op; a different object
+    under a taken name raises (mirroring :func:`register`) rather than
+    silently keeping the old builder.
+    """
+    existing = _REGISTRY.get(workload.name)
+    if existing is workload:
+        return workload
+    if existing is not None:
+        raise ValueError("workload %r already registered"
+                         % workload.name)
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
 def get(name):
+    """The registered workload called *name*.
+
+    ``synth-<profile>-<seed>`` names resolve lazily through the
+    deterministic generator (:mod:`repro.workloads.synthetic`) and are
+    registered on first lookup — including inside pooled tracer
+    processes, which resolve names through this function.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError("unknown workload %r (known: %s)"
-                       % (name, ", ".join(sorted(_REGISTRY)))) from None
+        pass
+    if name.startswith("synth-"):
+        from repro.workloads.synthetic import resolve_synthetic
+        return resolve_synthetic(name)
+    raise KeyError("unknown workload %r (known: %s)"
+                   % (name, ", ".join(sorted(_REGISTRY))))
 
 
 def names():

@@ -1,0 +1,213 @@
+"""Workload profiles: the parameter space of the synthetic generator.
+
+A :class:`WorkloadProfile` describes a *family* of programs by the
+distributions that shaped the paper's Table 1 — nesting depth,
+iteration (trip) counts, loop-exit irregularity, branch density,
+call/recursion mix, and array working-set size.  The generator
+(:mod:`repro.workloads.synthetic.generator`) draws one concrete program
+from a family given a seed; ``synth-<profile>-<seed>`` therefore names
+a reproducible workload, and sweeping seeds explores the family
+(``runner characterize``).
+
+Discrete distributions are tuples of ``(value, weight)`` pairs;
+trip-count distributions use ``((low, high), weight)`` pairs sampled
+uniformly inside the chosen range.  Everything is a plain frozen
+dataclass so profiles hash, compare, and validate eagerly.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def _check_weighted(name, pairs):
+    if not pairs:
+        raise ValueError("%s must not be empty" % name)
+    for value, weight in pairs:
+        if not isinstance(weight, int) or weight <= 0:
+            raise ValueError("%s weights must be positive ints, got %r"
+                             % (name, weight))
+    return pairs
+
+
+def _check_probability(name, value):
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("%s must be in [0, 1], got %r" % (name, value))
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The knobs a synthetic workload family is drawn from.
+
+    ``nesting_depth`` and ``trip_count`` are weighted distributions
+    sampled per loop nest / per loop level; ``exit_irregularity`` is the
+    probability a loop gets a data-dependent early exit (a ``rand()``
+    guarded ``Break``); ``branch_density`` the probability a body slot
+    becomes a data-dependent ``If``; ``call_mix`` the probability an
+    innermost body calls a helper function; ``recursion_depth`` bounds
+    the depth of the recursive helper (0 disables recursion entirely).
+    ``working_set`` is the size in words of each global data array.
+    ``target_instructions`` is the approximate dynamic instruction count
+    of one repetition at ``scale=1``; the generator sizes trip counts so
+    every generated program provably halts within its budget.
+    """
+
+    name: str
+    description: str = ""
+    #: weighted (depth, weight) choices, one draw per loop nest
+    nesting_depth: Tuple = ((1, 3), (2, 4), (3, 2))
+    #: weighted ((low, high), weight) ranges, one draw per loop level
+    trip_count: Tuple = (((2, 4), 2), ((5, 16), 4), ((20, 64), 2))
+    exit_irregularity: float = 0.2
+    branch_density: float = 0.3
+    call_mix: float = 0.25
+    recursion_depth: int = 0
+    working_set: int = 256
+    num_arrays: int = 2
+    #: top-level loop nests (one generated function each)
+    num_nests: int = 4
+    #: (low, high) arithmetic statements per loop body
+    body_ops: Tuple[int, int] = (2, 6)
+    #: approximate dynamic instructions per repetition (scale unit)
+    target_instructions: int = 120_000
+    default_max_instructions: int = 2_000_000
+    category: str = "int"
+
+    def __post_init__(self):
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ValueError("profile name must be a non-empty token")
+        _check_weighted("nesting_depth", self.nesting_depth)
+        for depth, _weight in self.nesting_depth:
+            if not isinstance(depth, int) or depth < 1:
+                raise ValueError("nesting depths must be ints >= 1")
+        _check_weighted("trip_count", self.trip_count)
+        for (low, high), _weight in self.trip_count:
+            if not 2 <= low <= high:
+                raise ValueError("trip ranges need 2 <= low <= high, "
+                                 "got (%r, %r)" % (low, high))
+        _check_probability("exit_irregularity", self.exit_irregularity)
+        _check_probability("branch_density", self.branch_density)
+        _check_probability("call_mix", self.call_mix)
+        if self.recursion_depth < 0:
+            raise ValueError("recursion_depth must be >= 0")
+        if self.working_set < 4:
+            raise ValueError("working_set must be >= 4 words")
+        if self.num_arrays < 1:
+            raise ValueError("num_arrays must be >= 1")
+        if self.num_nests < 1:
+            raise ValueError("num_nests must be >= 1")
+        low, high = self.body_ops
+        if not 1 <= low <= high:
+            raise ValueError("body_ops needs 1 <= low <= high")
+        if self.target_instructions < 1_000:
+            raise ValueError("target_instructions must be >= 1000")
+        if self.default_max_instructions < 4 * self.target_instructions:
+            raise ValueError(
+                "default_max_instructions must be >= 4x "
+                "target_instructions (headroom over the generator's "
+                "expected-cost model)")
+        if self.category not in ("int", "fp"):
+            raise ValueError("category must be 'int' or 'fp'")
+
+    @property
+    def max_nesting(self):
+        return max(depth for depth, _ in self.nesting_depth)
+
+
+#: The built-in profile families; ``synth-<name>-<seed>`` resolves here.
+PROFILES = {}
+
+
+def _profile(**kwargs):
+    profile = WorkloadProfile(**kwargs)
+    if profile.name in PROFILES:
+        raise ValueError("duplicate profile %r" % profile.name)
+    PROFILES[profile.name] = profile
+    return profile
+
+
+_profile(
+    name="baseline",
+    description="moderate everything: the suite's centre of mass",
+)
+
+_profile(
+    name="deep-nest",
+    description="go/apsi-like: deep loop nests with short trips and "
+                "bounded recursion",
+    nesting_depth=((3, 2), (4, 4), (5, 3), (6, 1)),
+    trip_count=(((2, 4), 4), ((5, 9), 3)),
+    exit_irregularity=0.3,
+    branch_density=0.35,
+    call_mix=0.3,
+    recursion_depth=4,
+    num_nests=3,
+    body_ops=(1, 4),
+)
+
+_profile(
+    name="wide-flat",
+    description="swim/tomcatv-like: shallow regular nests with long "
+                "trips and dense array traffic",
+    nesting_depth=((1, 3), (2, 5)),
+    trip_count=(((24, 64), 4), ((80, 200), 2)),
+    exit_irregularity=0.02,
+    branch_density=0.1,
+    call_mix=0.1,
+    working_set=512,
+    num_arrays=3,
+    body_ops=(3, 8),
+    category="fp",
+)
+
+_profile(
+    name="irregular",
+    description="gcc-like: branchy bodies, data-dependent early exits, "
+                "unpredictable trip counts",
+    nesting_depth=((1, 2), (2, 4), (3, 3)),
+    trip_count=(((2, 6), 3), ((7, 24), 3), ((30, 90), 1)),
+    exit_irregularity=0.6,
+    branch_density=0.6,
+    call_mix=0.3,
+    num_nests=6,
+)
+
+_profile(
+    name="call-heavy",
+    description="li/perl-like: loops feeding helper calls and "
+                "recursion; loops stack across frames",
+    nesting_depth=((1, 3), (2, 4), (3, 2)),
+    trip_count=(((2, 5), 3), ((6, 16), 4)),
+    exit_irregularity=0.2,
+    branch_density=0.3,
+    call_mix=0.75,
+    recursion_depth=5,
+    num_nests=4,
+    body_ops=(1, 4),
+)
+
+_profile(
+    name="tiny-loops",
+    description="m88ksim-like: many nests of tiny trip counts, mostly "
+                "single-digit iterations",
+    nesting_depth=((1, 4), (2, 4), (3, 1)),
+    trip_count=(((2, 4), 5), ((5, 8), 2)),
+    exit_irregularity=0.25,
+    branch_density=0.4,
+    call_mix=0.2,
+    num_nests=8,
+    body_ops=(1, 3),
+)
+
+
+def get_profile(name):
+    """The built-in profile called *name*."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError("unknown profile %r (known: %s)"
+                       % (name, ", ".join(sorted(PROFILES)))) from None
+
+
+def profile_names():
+    return sorted(PROFILES)

@@ -1,0 +1,48 @@
+"""Documentation health: intra-repo Markdown links must resolve.
+
+The same check runs in CI (`tools/check_links.py`); running it in
+tier-1 catches a renamed doc or a stale reference before a PR does.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", os.path.join(REPO_ROOT, "tools", "check_links.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_markdown_links():
+    checker = _load_checker()
+    problems = checker.broken_links(REPO_ROOT)
+    assert not problems, "\n".join(
+        "%s:%d -> %s" % (os.path.relpath(p, REPO_ROOT), line, target)
+        for p, line, target in problems)
+
+
+def test_front_door_docs_exist():
+    for doc in ("README.md", "docs/ARCHITECTURE.md", "docs/PIPELINE.md",
+                "docs/ANALYSIS.md", "docs/WORKLOADS.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, doc)), doc
+
+
+def test_checker_flags_broken_link(tmp_path):
+    (tmp_path / "doc.md").write_text("see [missing](nope/gone.md)\n")
+    checker = _load_checker()
+    problems = checker.broken_links(str(tmp_path))
+    assert len(problems) == 1
+    assert problems[0][2] == "nope/gone.md"
+
+
+def test_checker_ignores_external_and_fenced(tmp_path):
+    (tmp_path / "doc.md").write_text(
+        "[a](https://example.com) [b](#anchor)\n"
+        "```\n[c](not/a/file.md)\n```\n")
+    checker = _load_checker()
+    assert checker.broken_links(str(tmp_path)) == []

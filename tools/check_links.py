@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Check that intra-repo Markdown links resolve to real files.
+
+Scans every tracked ``*.md`` in the repository (skipping ``.git`` and
+caches), extracts inline links and images (``[text](target)``), and
+verifies that each relative target — with any ``#anchor`` stripped —
+exists on disk. External links (``http(s)://``, ``mailto:``) and
+pure-anchor links are ignored.
+
+Exit status 1 lists every broken link; used by the CI docs job and by
+``tests/test_docs.py``::
+
+    python tools/check_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+#: Inline Markdown link/image: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+              ".claude"}
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                yield os.path.join(dirpath, filename)
+
+
+def iter_links(path):
+    """``(line_number, target)`` for every inline link in *path*."""
+    with open(path, encoding="utf-8") as fh:
+        in_fence = False
+        for lineno, line in enumerate(fh, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def broken_links(root):
+    """``(file, line, target)`` for every unresolvable relative link."""
+    broken = []
+    for path in markdown_files(root):
+        for lineno, target in iter_links(path):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:
+                continue
+            if os.path.isabs(resolved):
+                broken.append((path, lineno, target))
+                continue
+            full = os.path.normpath(
+                os.path.join(os.path.dirname(path), resolved))
+            if not os.path.exists(full):
+                broken.append((path, lineno, target))
+    return broken
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    problems = broken_links(root)
+    for path, lineno, target in problems:
+        print("%s:%d: broken link -> %s"
+              % (os.path.relpath(path, root), lineno, target))
+    if problems:
+        print("%d broken link(s)" % len(problems))
+        return 1
+    count = sum(1 for _ in markdown_files(root))
+    print("ok: all intra-repo links resolve across %d markdown file(s)"
+          % count)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
