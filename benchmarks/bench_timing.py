@@ -1,0 +1,140 @@
+"""Simulation throughput: ideal vs overhead vs class-cost timing.
+
+The timing layer put a model call on the engine's per-event hot path;
+this benchmark quantifies the cost.  On warm in-memory loop indexes it
+times the figure6-style sweep (STR at 2/4/8/16 TUs, every workload)
+under
+
+* the default **ideal** model (the pre-timing-layer machine),
+* an **overhead** model (non-zero spawn/squash/promote costs), and
+* a record-fed **classcost** model (positional rates, the per-record
+  fallback path),
+
+and writes the numbers to ``BENCH_timing.json`` at the repository root
+(override with ``--output``).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_timing.py
+    PYTHONPATH=src python benchmarks/bench_timing.py \
+        --workloads swim,go --rounds 3
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.speculation import simulate
+from repro.pipeline import PipelineConfig, SimulationSession
+from repro.timing import make_timing
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+TU_COUNTS = (2, 4, 8, 16)
+
+MODELS = (
+    ("ideal", None),
+    ("overhead", "overhead:spawn=8,squash=4,promote=2"),
+    ("classcost", "classcost:branch=2,call=3,ret=3"),
+)
+
+
+def prepare(workloads, max_instructions):
+    """Warm in-memory indexes (and record-fed models) per workload."""
+    session = SimulationSession(PipelineConfig(
+        workloads=workloads, max_instructions=max_instructions,
+        cache_dir=None))
+    prepared = []
+    for workload in session.workloads:
+        trace = session.trace(workload.name)
+        index = session.index(workload.name)
+        models = {}
+        for label, spec in MODELS:
+            model = make_timing(spec) if spec is not None else None
+            if model is not None and model.wants_records:
+                for record in trace.records:
+                    model.feed_record(record)
+            models[label] = model
+        prepared.append((workload.name, index, models))
+    return prepared
+
+
+def run_sweep(prepared, label):
+    start = time.perf_counter()
+    sims = 0
+    events = 0
+    for name, index, models in prepared:
+        for tus in TU_COUNTS:
+            simulate(index, num_tus=tus, policy="str", name=name,
+                     timing=models[label])
+            sims += 1
+            events += len(index.events)
+    return time.perf_counter() - start, sims, events
+
+
+def best_of(rounds, fn, *args):
+    best = detail = None
+    for _ in range(rounds):
+        elapsed, sims, events = fn(*args)
+        if best is None or elapsed < best:
+            best, detail = elapsed, (sims, events)
+    return best, detail
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark simulation throughput per timing model.")
+    parser.add_argument("--workloads", default=None, metavar="A,B,...",
+                        help="workload subset (default: full suite)")
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="per-workload instruction budget override")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="rounds per model; best is kept "
+                             "(default %(default)s)")
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_timing.json"),
+                        help="result file (default %(default)s)")
+    args = parser.parse_args(argv)
+    workloads = (tuple(args.workloads.split(","))
+                 if args.workloads else None)
+
+    prepared = prepare(workloads, args.max_instructions)
+    per_model = {}
+    for label, spec in MODELS:
+        seconds, (sims, events) = best_of(args.rounds, run_sweep,
+                                          prepared, label)
+        per_model[label] = {
+            "spec": spec or "ideal",
+            "seconds": round(seconds, 3),
+            "simulations": sims,
+            "events_per_second": int(events / seconds)
+            if seconds else 0,
+        }
+
+    ideal = per_model["ideal"]["seconds"]
+    results = {
+        "benchmark": "figure6-style STR sweep per timing model, "
+                     "warm in-memory indexes",
+        "workloads": list(workloads) if workloads else "full suite",
+        "max_instructions": args.max_instructions,
+        "tu_counts": list(TU_COUNTS),
+        "rounds": args.rounds,
+        "models": per_model,
+        "overhead_vs_ideal": round(
+            per_model["overhead"]["seconds"] / ideal, 2)
+        if ideal else 0.0,
+        "classcost_vs_ideal": round(
+            per_model["classcost"]["seconds"] / ideal, 2)
+        if ideal else 0.0,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from repro.analysis.passes import (
     DataSpecPass,
     LoopStatisticsPass,
     SpeculationPass,
+    effective_timing,
     shared_dataspec_stats,
     shared_simulate,
     shared_table_sim,
@@ -36,6 +37,7 @@ __all__ = [
     "WorkloadContext",
     "analysis_names",
     "analyze_trace",
+    "effective_timing",
     "make_analysis",
     "register_analysis",
     "shared_dataspec_stats",

@@ -46,13 +46,21 @@ class WorkloadContext:
     ``shared`` is a per-workload scratch dict for values several passes
     want to compute exactly once (e.g. the full-trace data-speculation
     statistics shared by figure8 and the extensions study).
+
+    ``timing`` is the session's default :class:`~repro.timing.base.
+    TimingModel` instance for this workload (``None`` means the ideal
+    model): speculation passes that are not given an explicit model
+    simulate under it, and record-fed models receive the replay's CF
+    records through it.  One instance per workload, shared by every
+    pass -- models are read-only during simulations.
     """
 
     __slots__ = ("name", "workload", "scale", "cls_capacity",
-                 "total_instructions", "detector", "index", "shared")
+                 "total_instructions", "detector", "index", "shared",
+                 "timing")
 
     def __init__(self, name, total_instructions, workload=None, scale=1,
-                 cls_capacity=16, detector=None):
+                 cls_capacity=16, detector=None, timing=None):
         self.name = name
         self.workload = workload
         self.scale = scale
@@ -61,6 +69,7 @@ class WorkloadContext:
         self.detector = detector
         self.index = None
         self.shared = {}
+        self.timing = timing
 
     def execution(self, exec_id):
         """The live execution record behind *exec_id* (complete once its

@@ -13,26 +13,38 @@ from repro.analysis.suite import AnalysisSuite
 
 
 def analyze_trace(analyses, trace, name="program", workload=None,
-                  scale=1, cls_capacity=DEFAULT_CAPACITY):
+                  scale=1, cls_capacity=DEFAULT_CAPACITY, timing=None):
     """Replay *trace* once, feeding every pass in *analyses*.
 
     *analyses* is an :class:`AnalysisSuite` or an iterable of passes;
-    *trace* is a :class:`~repro.trace.stream.CFTrace`.  Returns the list
-    of each pass's :meth:`result`, in order (or the suite's results).
+    *trace* is a :class:`~repro.trace.stream.CFTrace`.  *timing* is the
+    default timing model for speculation passes (a spec string or
+    :class:`~repro.timing.base.TimingModel` instance; record-fed models
+    receive the trace's CF records).  Returns the list of each pass's
+    :meth:`result`, in order (or the suite's results).
     """
+    from repro.timing import make_timing
+
     suite = analyses if isinstance(analyses, AnalysisSuite) \
         else AnalysisSuite(analyses)
     detector = LoopDetector(cls_capacity=cls_capacity)
+    timing = make_timing(timing) if timing is not None else None
     ctx = WorkloadContext(name, trace.total_instructions,
                           workload=workload, scale=scale,
-                          cls_capacity=cls_capacity, detector=detector)
+                          cls_capacity=cls_capacity, detector=detector,
+                          timing=timing)
     suite.begin(ctx)
     wants_records = suite.wants_records
+    timing_feed = (timing.feed_record
+                   if timing is not None and timing.wants_records
+                   else None)
     feed = suite.feed
     detect = detector.feed
     for record in trace.records:
         if wants_records:
             suite.feed_record(record)
+        if timing_feed is not None:
+            timing_feed(record)
         for event in detect(record):
             feed(event)
     for event in detector.finish(trace.total_instructions):

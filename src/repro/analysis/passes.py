@@ -10,8 +10,44 @@ from repro.core.loopstats import LoopStatistics
 from repro.core.speculation import simulate, simulate_infinite
 from repro.core.dataspec import DataSpeculationAnalyzer
 from repro.core.tables import POLICY_LRU, TableHitRatioSimulator
+from repro.timing import make_timing
 
 from repro.analysis.base import Analysis
+
+
+def effective_timing(ctx, timing=None):
+    """Resolve the timing model a speculation pass should use.
+
+    An explicit *timing* (model instance or spec string) wins;
+    otherwise the session-wide default ``ctx.timing`` applies.  Spec
+    strings resolve once per workload through ``ctx.shared`` so passes
+    naming the same spec share one instance; record-fed specs are
+    rejected here -- by the time a pass runs, the record stream has
+    gone by, so such models can only be configured session-wide
+    (``--timing`` / ``PipelineConfig.timing``), which feeds them
+    during the replay.  The ideal model canonicalizes to ``None`` --
+    the engine's default -- so explicitly requesting ``"ideal"``
+    shares simulations (and memo keys) with passes that never mention
+    timing at all.
+    """
+    if timing is None:
+        timing = ctx.timing
+    if isinstance(timing, str):
+        key = ("timing-model", timing)
+        model = ctx.shared.get(key)
+        if model is None:
+            model = make_timing(timing)
+            if model.wants_records:
+                raise ValueError(
+                    "timing model %r needs the record stream and "
+                    "cannot be created inside a pass; configure it "
+                    "session-wide (--timing / PipelineConfig.timing) "
+                    "so the replay feeds it" % timing)
+            ctx.shared[key] = model
+        timing = model
+    if timing is not None and timing.key() == ("ideal",):
+        return None
+    return timing
 
 
 class LoopStatisticsPass(Analysis):
@@ -63,19 +99,22 @@ class SpeculationPass(Analysis):
     ``num_tus=None`` selects the idealized infinite-TU study.
     """
 
-    def __init__(self, num_tus=4, policy="str", **kwargs):
+    def __init__(self, num_tus=4, policy="str", timing=None, **kwargs):
         self.num_tus = num_tus
         self.policy = policy
+        self.timing = timing
         self.kwargs = kwargs
         self.by_name = {}
 
     def finish(self, ctx):
+        timing = effective_timing(ctx, self.timing)
         if self.num_tus is None:
-            result = simulate_infinite(ctx.index, name=ctx.name)
+            result = simulate_infinite(ctx.index, name=ctx.name,
+                                       timing=timing)
         else:
             result = simulate(ctx.index, num_tus=self.num_tus,
                               policy=self.policy, name=ctx.name,
-                              **self.kwargs)
+                              timing=timing, **self.kwargs)
         self.by_name[ctx.name] = result
 
     def result(self):
@@ -109,24 +148,32 @@ def shared_table_sim(ctx, let_entries, lit_entries, policy=POLICY_LRU):
 _SIMULATE_KEY = "simulate"
 
 
-def shared_simulate(ctx, num_tus, policy):
+def shared_simulate(ctx, num_tus, policy, timing=None):
     """A default-configuration speculation simulation, computed at most
     once per replay no matter how many passes ask.
 
     Several experiments request the exact same deterministic run
     (figure6's STR sweep reappears inside figure7; table2's STR(3) with
     4 TUs too), so the single-pass suite runs each distinct
-    ``(num_tus, policy)`` once and shares the result.  The returned
+    ``(num_tus, policy, timing)`` once and shares the result.  *timing*
+    (a model instance or spec string; default: the session-wide
+    ``ctx.timing``) keys the memo through the model's canonical
+    :meth:`~repro.timing.base.TimingModel.key`, with the ideal model
+    collapsing onto the timing-free key.  The returned
     :class:`SpeculationResult` is shared — treat it as read-only.
     Non-default configurations (disable tables, bounded LETs,
     ``count_waiting=False``) mutate or change the run; call
     :func:`repro.core.speculation.simulate` directly for those.
     """
-    key = (_SIMULATE_KEY, num_tus, policy)
+    timing = effective_timing(ctx, timing)
+    if timing is None:
+        key = (_SIMULATE_KEY, num_tus, policy)
+    else:
+        key = (_SIMULATE_KEY, num_tus, policy, timing.key())
     result = ctx.shared.get(key)
     if result is None:
         result = simulate(ctx.index, num_tus=num_tus, policy=policy,
-                          name=ctx.name)
+                          name=ctx.name, timing=timing)
         ctx.shared[key] = result
     return result
 

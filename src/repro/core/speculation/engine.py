@@ -1,12 +1,19 @@
 """Event-driven simulation of thread control speculation (section 3).
 
-Timing model (see docs/ARCHITECTURE.md): every thread unit retires
-one instruction per cycle; threads are contiguous regions of the dynamic instruction
-stream.  Between loop events every active TU advances at the same rate,
-so the simulation walks the detector's event list and advances time by
-the sequential distance the non-speculative thread covers -- an
-O(#events) algorithm that makes 16-TU and unlimited-TU runs equally
-cheap.
+Timing is delegated to the pluggable model layer in
+:mod:`repro.timing` (see docs/TIMING.md): every time advance, thread
+progress computation, and speculation-event overhead routes through
+the :class:`~repro.timing.base.TimingModel` the engine was constructed
+with.  The default :class:`~repro.timing.models.IdealTiming` is the
+paper's machine -- one instruction per cycle per thread unit, free
+spawns, instantaneous promotion -- and reproduces the pre-timing-layer
+engine bit for bit.  Threads are contiguous regions of the dynamic
+instruction stream; between loop events every active TU advances at
+the model's rate, so the simulation walks the detector's event list --
+an O(#events) algorithm that makes 16-TU and unlimited-TU runs equally
+cheap.  Models whose rates vary along the stream (the
+per-instruction-class cost table) are fed the record stream before the
+simulation and answer positional queries from it.
 
 Mechanics per the paper:
 
@@ -33,6 +40,7 @@ from repro.core.predictors import IterationCountPredictor
 from repro.core.speculation.metrics import SpeculationResult
 from repro.core.speculation.policies import OracleAllPolicy, make_policy
 from repro.core.tables import LoopHistoryTable
+from repro.timing import make_timing
 
 
 class SpecThread:
@@ -75,13 +83,15 @@ class SpeculationEngine:
     """
 
     __slots__ = ("policy", "num_tus", "let_capacity", "count_waiting",
-                 "disable_table", "_index", "_executions", "_result",
-                 "_now", "_pos", "_threads", "_spec_count", "_let",
-                 "_stack", "_skip_prediction")
+                 "disable_table", "timing", "_index", "_executions",
+                 "_result", "_now", "_pos", "_threads", "_spec_count",
+                 "_let", "_stack", "_skip_prediction", "_cycles",
+                 "_overhead")
 
     def __init__(self, num_tus=4, policy="str", let_capacity=None,
-                 count_waiting=True, disable_table=None):
+                 count_waiting=True, disable_table=None, timing=None):
         self.policy = make_policy(policy)
+        self.timing = make_timing(timing)
         if num_tus is None:
             if self.policy.requires_finite_tus:
                 raise ValueError(
@@ -112,6 +122,9 @@ class SpeculationEngine:
             name, self.num_tus if self.num_tus is not None else "inf",
             self.policy.name)
         self._result.total_instructions = index.total_instructions
+        self._result.timing_name = self.timing.name
+        self._cycles = self.timing.cycles
+        self._overhead = 0
         self._now = 0
         self._pos = 0
         self._threads = {}          # exec_id -> list of SpecThread (FIFO)
@@ -128,7 +141,7 @@ class SpeculationEngine:
     def feed(self, event):
         """Advance the machine through one loop event."""
         if event.seq > self._pos:
-            self._now += event.seq - self._pos
+            self._now += self._cycles(self._pos, event.seq - self._pos)
             self._pos = event.seq
         etype = type(event)
         if etype is IterationStart:
@@ -143,9 +156,11 @@ class SpeculationEngine:
     def finish(self):
         """Run out the post-loop tail and return the result."""
         if self._index.total_instructions > self._pos:
-            self._now += self._index.total_instructions - self._pos
+            self._now += self._cycles(
+                self._pos, self._index.total_instructions - self._pos)
             self._pos = self._index.total_instructions
         self._result.total_cycles = self._now
+        self._result.overhead_cycles = self._overhead
         self._result.unresolved_at_end = self._spec_count
         result = self._result
         if not self.count_waiting:
@@ -195,6 +210,10 @@ class SpeculationEngine:
                 if self.disable_table is not None:
                     self.disable_table.note(thread.loop, correct=False)
             self._spec_count -= len(threads)
+            cost = self.timing.squash_cost(len(threads))
+            if cost:
+                self._now += cost
+                self._overhead += cost
         for idx in range(len(self._stack) - 1, -1, -1):
             if self._stack[idx][0] == event.exec_id:
                 del self._stack[idx]
@@ -212,7 +231,8 @@ class SpeculationEngine:
             run_cap = thread.end_seq - thread.start_seq
         else:
             run_cap = self._index.total_instructions - thread.start_seq
-        executed = min(elapsed, run_cap)
+        executed = self.timing.progress(elapsed, thread.start_seq,
+                                        run_cap)
         new_pos = thread.start_seq + executed
         if new_pos > self._pos:
             self._pos = new_pos
@@ -221,9 +241,14 @@ class SpeculationEngine:
         result.resolved += 1
         result.instr_to_verif_total += event.seq - thread.spawn_seq
         result.credit_waiting += elapsed
-        result.credit_executing += executed
+        result.credit_executing += self._cycles(thread.start_seq,
+                                                executed)
         if self.disable_table is not None:
             self.disable_table.note(thread.loop, correct=True)
+        cost = self.timing.promote_cost()
+        if cost:
+            self._now += cost
+            self._overhead += cost
 
     def _spawn(self, event):
         num_tus = self.num_tus
@@ -261,6 +286,14 @@ class SpeculationEngine:
             raise ValueError("policy %s produced a non-finite spawn count"
                              % self.policy.name)
 
+        # Forking is charged to the non-speculative thread before the
+        # spawned threads start running (spawn_time below sits after the
+        # fork cost, so overheads delay the speculated work too).
+        cost = self.timing.spawn_cost(int(count))
+        if cost:
+            self._now += cost
+            self._overhead += cost
+
         result = self._result
         result.speculation_events += 1
         if threads is None:
@@ -295,6 +328,10 @@ class SpeculationEngine:
                     result.instr_to_verif_total += seq - thread.spawn_seq
                 self._spec_count -= len(threads)
                 del self._threads[exec_id]
+                cost = self.timing.squash_cost(len(threads))
+                if cost:
+                    self._now += cost
+                    self._overhead += cost
             break
 
     # -- helpers ------------------------------------------------------------------
@@ -315,17 +352,20 @@ class SpeculationEngine:
 
 
 def simulate(index, num_tus=4, policy="str", name="workload",
-             let_capacity=None, count_waiting=True, disable_table=None):
+             let_capacity=None, count_waiting=True, disable_table=None,
+             timing=None):
     """One-call convenience wrapper around :class:`SpeculationEngine`."""
     engine = SpeculationEngine(num_tus=num_tus, policy=policy,
                                let_capacity=let_capacity,
                                count_waiting=count_waiting,
-                               disable_table=disable_table)
+                               disable_table=disable_table,
+                               timing=timing)
     return engine.run(index, name=name)
 
 
-def simulate_infinite(index, name="workload"):
+def simulate_infinite(index, name="workload", timing=None):
     """Figure 5's idealized study: unlimited TUs, oracle iteration
     counts, speculation at loop-execution detection."""
-    engine = SpeculationEngine(num_tus=None, policy=OracleAllPolicy())
+    engine = SpeculationEngine(num_tus=None, policy=OracleAllPolicy(),
+                               timing=timing)
     return engine.run(index, name=name)

@@ -12,9 +12,15 @@ class SpeculationResult:
     work); ``tpc_executing`` is the stricter variant counting only cycles
     spent executing instructions -- the ablation benchmark contrasts the
     two.
+
+    ``timing_name`` records which :mod:`repro.timing` model priced the
+    run (``"ideal"`` is the paper's machine) and ``overhead_cycles``
+    the cycles it charged for spawns, promotions, and squashes --
+    included in ``total_cycles``, zero under the ideal model.
     """
 
-    __slots__ = ("name", "num_tus", "policy_name", "total_cycles",
+    __slots__ = ("name", "num_tus", "policy_name", "timing_name",
+                 "overhead_cycles", "total_cycles",
                  "total_instructions", "speculation_events",
                  "threads_spawned", "promoted", "squashed_misspec",
                  "squashed_policy", "credit_waiting", "credit_executing",
@@ -24,6 +30,8 @@ class SpeculationResult:
         self.name = name
         self.num_tus = num_tus
         self.policy_name = policy_name
+        self.timing_name = "ideal"
+        self.overhead_cycles = 0
         self.total_cycles = 0
         self.total_instructions = 0
         self.speculation_events = 0
@@ -100,6 +108,8 @@ class SpeculationResult:
             "name": self.name,
             "num_tus": self.num_tus,
             "policy": self.policy_name,
+            "timing": self.timing_name,
+            "overhead_cycles": self.overhead_cycles,
             "total_cycles": self.total_cycles,
             "total_instructions": self.total_instructions,
             "speculation_events": self.speculation_events,

@@ -19,7 +19,7 @@ from repro.analysis import Analysis, register_analysis, \
 from repro.core.cls import CurrentLoopStack
 from repro.core.events import ExecutionStart, SingleIteration
 from repro.core.tables import POLICY_LRU, POLICY_NESTING_AWARE
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 REPLACEMENT_SIZES = (2, 4)
 REPLACEMENT_POLICIES = (POLICY_LRU, POLICY_NESTING_AWARE)
@@ -50,6 +50,7 @@ class AblationsAnalysis(Analysis):
                              for size in sizes
                              for policy in REPLACEMENT_POLICIES}
         self._waiting_rows = []
+        self._waiting_timing = TimingMeta()
         # CLS sweep: capacity -> [overflow drops, executions]
         self._cls = {capacity: [0, 0] for capacity in capacities}
         self._sims = None
@@ -118,7 +119,8 @@ class AblationsAnalysis(Analysis):
         if "waiting" in self.parts:
             # One run answers both accountings: with count_waiting=False
             # the engine reports tpc == tpc_executing of the same run.
-            incl = shared_simulate(ctx, self.num_tus, "str")
+            incl = self._waiting_timing.fold(
+                shared_simulate(ctx, self.num_tus, "str"))
             self._waiting_rows.append((ctx.name, round(incl.tpc, 2),
                                        round(incl.tpc_executing, 2)))
         if "cls" in self.parts:
@@ -177,6 +179,7 @@ class AblationsAnalysis(Analysis):
             rows,
             notes=["the model counts waiting cycles (see "
                    "docs/ARCHITECTURE.md); this bounds the effect"],
+            meta=self._waiting_timing.as_meta(),
         )
 
     def cls_capacity_result(self):

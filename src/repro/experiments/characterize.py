@@ -25,7 +25,7 @@ adding e.g. figure6 to the same run re-uses the sweeps' simulations).
 from repro.analysis import Analysis, LoopStatisticsPass, \
     register_analysis, shared_simulate
 from repro.core.loopstats import loop_coverage
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 #: Policies characterized per workload (one simulation each, shared
 #: with any other pass requesting the same configuration).
@@ -80,6 +80,7 @@ class CharacterizeAnalysis(Analysis):
         self._rows = []
         self._samples = {}      # metric label -> [value per workload]
         self.by_name = {}
+        self._timing = TimingMeta()
 
     # Incremental part: Table-1 statistics ride the event stream.
 
@@ -119,7 +120,8 @@ class CharacterizeAnalysis(Analysis):
         self._sample("max nesting", float(stats.max_nesting))
         results = {}
         for policy in self.policies:
-            result = shared_simulate(ctx, self.num_tus, policy)
+            result = self._timing.fold(
+                shared_simulate(ctx, self.num_tus, policy))
             results[policy] = result
             row.append(round(100.0 * result.hit_ratio, 1))
             row.append(round(result.tpc, 2))
@@ -142,6 +144,7 @@ class CharacterizeAnalysis(Analysis):
             notes=["one replay per workload; speculation runs shared "
                    "via ctx.shared"],
             extra={"by_name": self.by_name},
+            meta=self._timing.as_meta(),
         )
         summary = ExperimentResult(
             "Characterization distributions over %d workload(s)"

@@ -16,11 +16,11 @@ statistics figure8 computes (shared through ``ctx.shared``), so running
 both experiments costs one full trace per workload, not two.
 """
 
-from repro.analysis import Analysis, register_analysis, \
-    shared_dataspec_stats, shared_simulate
+from repro.analysis import Analysis, effective_timing, \
+    register_analysis, shared_dataspec_stats, shared_simulate
 from repro.core.speculation import SpeculationDisableTable, simulate
 from repro.experiments.figure8 import FULL_TRACE_LIMIT
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 
 @register_analysis("extensions")
@@ -30,14 +30,22 @@ class ExtensionsAnalysis(Analysis):
         self.full_trace_limit = full_trace_limit
         self._disable_rows = []
         self._sync_rows = []
+        # One meta per rendered table: the disable-table study runs a
+        # plain and a guarded simulation per workload, the sync-free
+        # bound only builds on the plain one.
+        self._disable_timing = TimingMeta()
+        self._sync_timing = TimingMeta()
 
     def finish(self, ctx):
         # 1. Disable table.
-        plain = shared_simulate(ctx, self.num_tus, "str")
+        plain = self._sync_timing.fold(self._disable_timing.fold(
+            shared_simulate(ctx, self.num_tus, "str")))
         table = SpeculationDisableTable(capacity=16, min_samples=5,
                                         hit_threshold=0.5)
-        guarded = simulate(ctx.index, num_tus=self.num_tus, policy="str",
-                           name=ctx.name, disable_table=table)
+        guarded = self._disable_timing.fold(
+            simulate(ctx.index, num_tus=self.num_tus, policy="str",
+                     name=ctx.name, disable_table=table,
+                     timing=effective_timing(ctx)))
         self._disable_rows.append((ctx.name,
                                    round(100 * plain.hit_ratio, 2),
                                    round(100 * guarded.hit_ratio, 2),
@@ -68,6 +76,7 @@ class ExtensionsAnalysis(Analysis):
                    "only at a loop's final execution, so blocks install "
                    "late and barely move the aggregate -- the table "
                    "matters on longer runs"],
+            meta=self._disable_timing.as_meta(),
         )
 
     def sync_free_result(self):
@@ -83,6 +92,7 @@ class ExtensionsAnalysis(Analysis):
             notes=["lower bound: iterations with any unpredicted live-in "
                    "are charged as fully serialized; real machines "
                    "synchronize per value and land in between"],
+            meta=self._sync_timing.as_meta(),
         )
 
     def result(self):

@@ -5,7 +5,7 @@ for 2 / 4 / 8 / 16 thread units.
 """
 
 from repro.analysis import Analysis, register_analysis, shared_simulate
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 TU_COUNTS = (2, 4, 8, 16)
 
@@ -18,12 +18,13 @@ class Figure6Analysis(Analysis):
         self._results = {}
         self._sums = {tus: 0.0 for tus in tu_counts}
         self._count = 0
+        self._timing = TimingMeta()
 
     def finish(self, ctx):
         row = [ctx.name]
         self._results[ctx.name] = {}
         for tus in self.tu_counts:
-            result = shared_simulate(ctx, tus, "str")
+            result = self._timing.fold(shared_simulate(ctx, tus, "str"))
             self._results[ctx.name][tus] = result
             self._sums[tus] += result.tpc
             row.append(round(result.tpc, 2))
@@ -41,6 +42,7 @@ class Figure6Analysis(Analysis):
             rows,
             notes=["paper averages: 1.65 / 2.6 / 4 / 6.2"],
             extra={"results": self._results},
+            meta=self._timing.as_meta(),
         )
 
 

@@ -7,7 +7,7 @@ considered -- the paper recommends STR(3)).
 """
 
 from repro.analysis import Analysis, register_analysis, shared_simulate
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 TU_COUNTS = (2, 4, 8, 16)
 POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
@@ -21,12 +21,13 @@ class Figure7Analysis(Analysis):
         self._totals = {(policy, tus): 0.0
                         for policy in policies for tus in tu_counts}
         self._count = 0
+        self._timing = TimingMeta()
 
     def finish(self, ctx):
         for policy in self.policies:
             for tus in self.tu_counts:
-                self._totals[(policy, tus)] += \
-                    shared_simulate(ctx, tus, policy).tpc
+                self._totals[(policy, tus)] += self._timing.fold(
+                    shared_simulate(ctx, tus, policy)).tpc
         self._count += 1
 
     def result(self):
@@ -44,6 +45,7 @@ class Figure7Analysis(Analysis):
             notes=["expected ordering: STR >= IDLE > STR(3) > STR(2) > "
                    "STR(1)"],
             extra={"averages": averages},
+            meta=self._timing.as_meta(),
         )
 
 

@@ -21,6 +21,14 @@ Usage::
     python -m repro.experiments.runner characterize \
         --profile deep-nest --seed 7 --count 25
     python -m repro.experiments.runner table1 --profile irregular
+    python -m repro.experiments.runner figure6 --timing overhead:spawn=8
+    python -m repro.experiments.runner sensitivity \
+        --spawn-cost 0,2,8,32 --tus 2,4,8,16
+
+``--timing name[:k=v,...]`` selects the timing model speculation
+experiments simulate under (see ``--list`` and docs/TIMING.md; default:
+the paper's ideal machine).  ``sensitivity`` sweeps its own overhead
+models and ignores ``--timing``.
 
 ``all`` composes with explicit names (``table1 all`` runs table1 first,
 then the rest); duplicates run once.  Each experiment module is also
@@ -58,8 +66,9 @@ EXPERIMENT_ORDER = (
 
 #: Experiments beyond the paper's tables/figures.  Selectable by name
 #: but never part of ``all`` (the characterization sweep targets
-#: generated synthetic workloads, not the analog suite).
-EXTRA_EXPERIMENTS = ("characterize",)
+#: generated synthetic workloads; the sensitivity sweep departs from
+#: the paper's idealized timing).
+EXTRA_EXPERIMENTS = ("characterize", "sensitivity")
 
 
 def _removed(name):
@@ -99,7 +108,7 @@ def available_experiments():
 
 def extra_experiments():
     """Name -> analysis factory for the non-paper experiments."""
-    from repro.experiments import characterize  # noqa: F401
+    from repro.experiments import characterize, sensitivity  # noqa: F401
     from repro.analysis.registry import _REGISTRY
     return {name: _REGISTRY[name] for name in EXTRA_EXPERIMENTS}
 
@@ -125,15 +134,22 @@ def select_experiments(requested, available, extras=()):
     return selected
 
 
-def build_suite(selected):
+def build_suite(selected, overrides=None):
     """An :class:`AnalysisSuite` with one registered pass per selected
-    experiment; returns ``(suite, {name: analysis})``."""
+    experiment; returns ``(suite, {name: analysis})``.
+
+    *overrides* maps experiment names to constructor keyword arguments
+    (the runner uses it to hand the sensitivity sweep its CLI-selected
+    cost and TU lists).
+    """
     available_experiments()   # ensure registration
     extra_experiments()
     suite = AnalysisSuite()
     by_name = {}
     for name in selected:
-        by_name[name] = suite.add(make_analysis(name), name=name)
+        kwargs = overrides.get(name, {}) if overrides else {}
+        by_name[name] = suite.add(make_analysis(name, **kwargs),
+                                  name=name)
     return suite, by_name
 
 
@@ -179,11 +195,12 @@ def _synthetic_sweep(args, selected, parser):
 
     ``--profile``/``--seed``/``--count`` select a generated sweep for
     *any* experiment; ``characterize`` without an explicit workload set
-    defaults to the ``baseline`` profile.  Sweep flags that would have
-    no effect are rejected rather than silently ignored.
+    defaults to the ``baseline`` profile (``sensitivity`` defaults to
+    the analog suite, like the paper experiments).  Sweep flags that
+    would have no effect are rejected rather than silently ignored.
     """
     wants_sweep = args.profile is not None \
-        or any(name in EXTRA_EXPERIMENTS for name in selected)
+        or "characterize" in selected
     if not wants_sweep or args.workloads is not None:
         if args.profile is not None:
             parser.error("--profile and --workloads are mutually "
@@ -203,6 +220,60 @@ def _synthetic_sweep(args, selected, parser):
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
     return tuple(names)
+
+
+def _parse_int_list(option, spec, parser):
+    """Comma-separated non-negative integers, as for ``--spawn-cost``."""
+    try:
+        values = tuple(int(v.strip()) for v in spec.split(",")
+                       if v.strip())
+    except ValueError:
+        parser.error("%s expects comma-separated integers, got %r"
+                     % (option, spec))
+    if not values:
+        parser.error("%s selected nothing" % option)
+    return values
+
+
+def _sensitivity_overrides(args, selected, parser):
+    """Constructor kwargs for the sensitivity sweep, or ``{}``.
+
+    Sweep flags given without the sensitivity experiment are rejected
+    rather than silently ignored.
+    """
+    flags = (("--spawn-cost", args.spawn_cost),
+             ("--tus", args.tus),
+             ("--policies", args.policies),
+             ("--squash-cost", args.squash_cost),
+             ("--promote-cost", args.promote_cost))
+    given = [name for name, value in flags if value is not None]
+    if "sensitivity" not in selected:
+        if given:
+            parser.error("%s appl%s to the sensitivity experiment only"
+                         % (", ".join(given),
+                            "ies" if len(given) == 1 else "y"))
+        return {}
+    kwargs = {}
+    if args.spawn_cost is not None:
+        kwargs["spawn_costs"] = _parse_int_list(
+            "--spawn-cost", args.spawn_cost, parser)
+    if args.tus is not None:
+        kwargs["tu_counts"] = _parse_int_list("--tus", args.tus, parser)
+    if args.policies is not None:
+        from repro.core.speculation import make_policy
+        policies = tuple(p.strip() for p in args.policies.split(",")
+                         if p.strip())
+        for policy in policies:
+            try:
+                make_policy(policy)
+            except ValueError as exc:
+                parser.error(str(exc))
+        kwargs["policies"] = policies
+    if args.squash_cost is not None:
+        kwargs["squash_cost"] = args.squash_cost
+    if args.promote_cost is not None:
+        kwargs["promote_cost"] = args.promote_cost
+    return {"sensitivity": kwargs}
 
 
 def _emit(name, results, fmt, output_dir):
@@ -252,6 +323,27 @@ def main(argv=None):
     parser.add_argument("--count", type=int, default=None,
                         help="workloads in the synthetic sweep "
                              "(default 10)")
+    parser.add_argument("--timing", default=None, metavar="SPEC",
+                        help="timing model for speculation experiments "
+                             "as name[:k=v,...], e.g. overhead:spawn=8 "
+                             "(see --list; default: ideal)")
+    parser.add_argument("--spawn-cost", default=None, metavar="N,...",
+                        help="sensitivity sweep: thread-spawn costs "
+                             "(default 0,2,8,32)")
+    parser.add_argument("--tus", default=None, metavar="N,...",
+                        help="sensitivity sweep: TU counts "
+                             "(default 2,4,8,16)")
+    parser.add_argument("--policies", default=None, metavar="P,...",
+                        help="sensitivity sweep: policies "
+                             "(default idle,str,str(3))")
+    parser.add_argument("--squash-cost", type=int, default=None,
+                        metavar="N",
+                        help="sensitivity sweep: fixed per-thread "
+                             "squash cost (default 0)")
+    parser.add_argument("--promote-cost", type=int, default=None,
+                        metavar="N",
+                        help="sensitivity sweep: fixed promotion cost "
+                             "(default 0)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="tracer processes (default 1: sequential)")
     parser.add_argument("--cache-dir", default=default_cache_dir(),
@@ -282,6 +374,10 @@ def main(argv=None):
               "synth-<profile>-<seed>):")
         for name in profile_names():
             print("  %s" % name)
+        from repro.timing import timing_names
+        print("timing models (--timing name[:k=v,...]):")
+        for name in timing_names():
+            print("  %s" % name)
         return 0
 
     try:
@@ -290,6 +386,7 @@ def main(argv=None):
     except ValueError as exc:
         parser.error(str(exc))
 
+    overrides = _sensitivity_overrides(args, selected, parser)
     sweep = _synthetic_sweep(args, selected, parser)
     try:
         config = PipelineConfig(
@@ -301,6 +398,7 @@ def main(argv=None):
                        if args.workloads is not None else None),
             jobs=args.jobs,
             cache_dir=None if args.no_cache else args.cache_dir,
+            timing=args.timing,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -309,7 +407,10 @@ def main(argv=None):
         os.makedirs(args.output_dir, exist_ok=True)
 
     session = SimulationSession(config)
-    suite, _ = build_suite(selected)
+    try:
+        suite, _ = build_suite(selected, overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
     start = time.time()
     all_results = session.analyze(suite)
     analyze_seconds = time.time() - start

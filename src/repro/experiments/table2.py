@@ -7,7 +7,7 @@ and TPC.
 
 from repro.analysis import Analysis, register_analysis, shared_simulate
 from repro.core.speculation.metrics import SpeculationResult
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, TimingMeta
 
 
 @register_analysis("table2")
@@ -17,9 +17,11 @@ class Table2Analysis(Analysis):
         self.policy = policy
         self._rows = []
         self._results = {}
+        self._timing = TimingMeta()
 
     def finish(self, ctx):
-        result = shared_simulate(ctx, self.num_tus, self.policy)
+        result = self._timing.fold(
+            shared_simulate(ctx, self.num_tus, self.policy))
         self._results[ctx.name] = result
         self._rows.append(result.as_table2_row())
 
@@ -31,6 +33,7 @@ class Table2Analysis(Analysis):
             notes=["the paper reports hit ratios of 54-100% and TPC "
                    "1.06-3.85 across SPEC95"],
             extra={"results": self._results},
+            meta=self._timing.as_meta(),
         )
 
 

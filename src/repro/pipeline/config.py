@@ -41,7 +41,11 @@ class PipelineConfig:
     full 18-workload suite in table order); ``max_instructions=None``
     uses each workload's own default budget.  ``cache_dir=None``
     disables the on-disk trace cache.  ``jobs`` is the number of tracer
-    processes; 1 traces inline in the calling process.
+    processes; 1 traces inline in the calling process.  ``timing`` is a
+    :mod:`repro.timing` spec string (``"overhead:spawn=8"``) selecting
+    the default timing model speculation passes simulate under;
+    ``None`` is the paper's ideal machine.  Timing never affects
+    traces, so it does not key the trace cache.
     """
 
     scale: int = 1
@@ -50,8 +54,16 @@ class PipelineConfig:
     workloads: Optional[Tuple[str, ...]] = None
     jobs: int = 1
     cache_dir: Optional[str] = field(default=None)
+    timing: Optional[str] = None
 
     def __post_init__(self):
+        if self.timing is not None:
+            if not isinstance(self.timing, str):
+                raise ValueError("timing must be a spec string (use "
+                                 "--timing syntax, e.g. "
+                                 "'overhead:spawn=8') or None")
+            from repro.timing import make_timing
+            make_timing(self.timing)    # validate eagerly
         if self.scale < 1:
             raise ValueError("scale must be >= 1")
         if self.jobs < 1:

@@ -233,10 +233,17 @@ class SimulationSession:
 
     def _context(self, workload, total, detector=None):
         from repro.analysis.base import WorkloadContext
+        from repro.timing import make_timing
 
+        # One timing-model instance per workload replay: record-fed
+        # models accumulate per-workload state, so they must never be
+        # shared across workloads (or survive an abort/retry).
+        timing = (make_timing(self.config.timing)
+                  if self.config.timing is not None else None)
         return WorkloadContext(
             workload.name, total, workload=workload, scale=self.scale,
-            cls_capacity=self.config.cls_capacity, detector=detector)
+            cls_capacity=self.config.cls_capacity, detector=detector,
+            timing=timing)
 
     def _replay(self, workload, suite, records, total):
         """One full record-stream replay into *suite*; returns the
@@ -246,11 +253,17 @@ class SimulationSession:
         suite.begin(ctx)
         self.stats.replays += 1
         wants_records = suite.wants_records
+        timing = ctx.timing
+        timing_feed = (timing.feed_record
+                       if timing is not None and timing.wants_records
+                       else None)
         feed = suite.feed
         detect = detector.feed
         for record in records:
             if wants_records:
                 suite.feed_record(record)
+            if timing_feed is not None:
+                timing_feed(record)
             for event in detect(record):
                 feed(event)
         for event in detector.finish(total):

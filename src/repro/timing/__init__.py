@@ -1,0 +1,36 @@
+"""Pluggable timing models for the speculation engine.
+
+The public surface (see ``docs/TIMING.md``): a :class:`TimingModel`
+supplies the cycle costs the paper idealizes away -- thread-spawn,
+promotion/verification and squash overheads, per-TU fetch/retire
+width, and optionally a per-instruction-class cost table fed from
+trace records.  :func:`make_timing` resolves a CLI-style spec string
+(``overhead:spawn=8``), :func:`register_timing` plugs third-party
+models into the same registry the built-ins use.
+"""
+
+from repro.timing.base import TimingModel
+from repro.timing.models import (
+    ClassCostTiming,
+    IdealTiming,
+    OverheadTiming,
+    WidthTiming,
+)
+from repro.timing.registry import (
+    make_timing,
+    parse_timing_spec,
+    register_timing,
+    timing_names,
+)
+
+__all__ = [
+    "ClassCostTiming",
+    "IdealTiming",
+    "OverheadTiming",
+    "TimingModel",
+    "WidthTiming",
+    "make_timing",
+    "parse_timing_spec",
+    "register_timing",
+    "timing_names",
+]

@@ -1,0 +1,88 @@
+"""The timing-model protocol.
+
+The paper evaluates an idealized multithreaded machine: every thread
+unit retires one instruction per cycle, spawning a thread is free,
+promotion is instantaneous, squashes cost nothing.  A
+:class:`TimingModel` makes each of those assumptions explicit and
+replaceable: the speculation engine routes *every* time advance and
+overhead charge through the model it was constructed with, so asking
+"does control speculation still pay off when forks cost 32 cycles?" is
+a model swap, not an engine fork (see ``docs/TIMING.md``).
+
+A model answers two kinds of questions:
+
+* **Rates** — how many cycles the non-speculative thread needs to cover
+  a stretch of the dynamic instruction stream (:meth:`cycles`), and how
+  many instructions a speculative thread gets through in a given number
+  of cycles (:meth:`progress`).  The engine keeps its O(#events) walk
+  as long as these only depend on the distance covered; a model whose
+  rates vary along the stream (the per-instruction-class cost table)
+  sets :attr:`wants_records` and is fed every control-flow record of
+  the replay before the simulation runs.
+* **Overheads** — extra cycles charged at speculation events:
+  :meth:`spawn_cost` when threads fork, :meth:`promote_cost` when a
+  speculated thread is verified and promoted, :meth:`squash_cost` when
+  threads are discarded.  The engine accumulates these into
+  ``SpeculationResult.overhead_cycles``.
+
+Models must be **read-only during a simulation**: the engine may run
+many simulations (different TU counts, policies) against one model
+instance, and ``ctx.shared`` memoization relies on a model being fully
+described by :meth:`key`.  Per-run state is not allowed; per-*workload*
+state (the record-fed cost table) is set up before any simulation via
+:meth:`feed_record`.
+"""
+
+
+class TimingModel:
+    """Base timing model; the defaults ARE the paper's ideal machine.
+
+    Subclasses override the hooks they need.  All cycle values are
+    integers; costs must be non-negative.
+    """
+
+    #: Model name as reported in ``SpeculationResult.timing_name``.
+    name = "ideal"
+
+    #: True when the model must see every CF record of the workload's
+    #: replay (via :meth:`feed_record`) before simulations run.
+    wants_records = False
+
+    def key(self):
+        """Hashable canonical configuration, for memoization.  Two
+        models with equal keys must produce identical simulations."""
+        return ("ideal",)
+
+    def feed_record(self, record):
+        """One control-flow record of the workload being replayed
+        (only called when :attr:`wants_records`)."""
+
+    # -- rates ---------------------------------------------------------------
+
+    def cycles(self, pos, distance):
+        """Cycles the non-speculative thread needs to advance
+        *distance* instructions starting at stream position *pos*."""
+        return distance
+
+    def progress(self, elapsed, start_seq, cap):
+        """Instructions a speculative thread starting at *start_seq*
+        executes in *elapsed* cycles, never more than *cap*."""
+        return elapsed if elapsed < cap else cap
+
+    # -- overheads -----------------------------------------------------------
+
+    def spawn_cost(self, count):
+        """Cycles charged when *count* threads are forked at once."""
+        return 0
+
+    def promote_cost(self):
+        """Cycles charged when a speculated thread is verified correct
+        and promoted to non-speculative."""
+        return 0
+
+    def squash_cost(self, count):
+        """Cycles charged when *count* threads are squashed at once."""
+        return 0
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.name)
