@@ -100,6 +100,22 @@ class Analysis:
     def feed_record(self, record):
         """One control-flow record (only called when ``wants_records``)."""
 
+    def feed_batch(self, batch):
+        """One :class:`~repro.trace.batch.RecordBatch` of control-flow
+        records (only called when ``wants_records``).
+
+        The replay delivers records in batches; the default decodes
+        them and calls :meth:`feed_record` one at a time, so passes
+        written against the per-record protocol keep working unchanged.
+        Record-hungry passes override this with a columnar loop (see
+        ``docs/ANALYSIS.md``); overriders must preserve per-record
+        semantics -- a batch is a pure run of consecutive records, and
+        batch boundaries carry no meaning.
+        """
+        feed_record = self.feed_record
+        for record in batch.iter_records():
+            feed_record(record)
+
     def feed(self, event):
         """One loop event from the canonical detector."""
 

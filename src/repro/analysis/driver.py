@@ -7,6 +7,7 @@ not registered workloads (see ``examples/quickstart.py``).
 
 from repro.core.cls import DEFAULT_CAPACITY
 from repro.core.detector import LoopDetector
+from repro.trace.batch import iter_batches
 
 from repro.analysis.base import WorkloadContext
 from repro.analysis.suite import AnalysisSuite
@@ -22,6 +23,10 @@ def analyze_trace(analyses, trace, name="program", workload=None,
     :class:`~repro.timing.base.TimingModel` instance; record-fed models
     receive the trace's CF records).  Returns the list of each pass's
     :meth:`result`, in order (or the suite's results).
+
+    The replay is batched: records stream through the detector and the
+    suite as :class:`~repro.trace.batch.RecordBatch` columns, exactly
+    like the session's cache-backed replay.
     """
     from repro.timing import make_timing
 
@@ -35,17 +40,18 @@ def analyze_trace(analyses, trace, name="program", workload=None,
                           timing=timing)
     suite.begin(ctx)
     wants_records = suite.wants_records
-    timing_feed = (timing.feed_record
+    timing_feed = (timing.feed_batch
                    if timing is not None and timing.wants_records
                    else None)
     feed = suite.feed
-    detect = detector.feed
-    for record in trace.records:
+    feed_batch = suite.feed_batch
+    detect_batch = detector.feed_batch
+    for batch in iter_batches(trace.records):
         if wants_records:
-            suite.feed_record(record)
+            feed_batch(batch)
         if timing_feed is not None:
-            timing_feed(record)
-        for event in detect(record):
+            timing_feed(batch)
+        for event in detect_batch(batch):
             feed(event)
     for event in detector.finish(trace.total_instructions):
         feed(event)

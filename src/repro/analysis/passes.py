@@ -185,15 +185,25 @@ _DATASPEC_KEY = "dataspec-stats"
 def shared_dataspec_stats(ctx, max_instructions):
     """The full-trace data-speculation statistics for this workload,
     computed at most once per replay no matter how many passes ask
-    (figure8 and the extensions study share one full trace and one
-    analysis)."""
+    (figure8 and the extensions study share one full-effects stream
+    and one analysis).
+
+    The stream is columnar end to end: a
+    :class:`~repro.cpu.tracer.ChunkedFullTracer` feeds
+    :class:`~repro.trace.batch.FullBatch` columns straight into
+    :meth:`~repro.core.dataspec.stats.DataSpeculationAnalyzer.
+    analyze_batches`, so the full per-instruction trace is never
+    materialized.
+    """
     key = (_DATASPEC_KEY, max_instructions)
     stats = ctx.shared.get(key)
     if stats is None:
-        trace = ctx.workload.full_trace(
-            ctx.scale, max_instructions=max_instructions)
+        from repro.cpu.tracer import ChunkedFullTracer
+
+        tracer = ChunkedFullTracer(ctx.workload.program(ctx.scale),
+                                   max_instructions)
         analyzer = DataSpeculationAnalyzer(cls_capacity=ctx.cls_capacity)
-        stats = analyzer.analyze(trace, ctx.name)
+        stats = analyzer.analyze_batches(tracer.batches(), ctx.name)
         ctx.shared[key] = stats
     return stats
 

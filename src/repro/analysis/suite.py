@@ -70,6 +70,13 @@ class AnalysisSuite:
         for analysis in self._record_consumers:
             analysis.feed_record(record)
 
+    def feed_batch(self, batch):
+        """Fan one :class:`~repro.trace.batch.RecordBatch` out to every
+        record consumer (each falls back to per-record feeding unless
+        it overrides :meth:`~repro.analysis.base.Analysis.feed_batch`)."""
+        for analysis in self._record_consumers:
+            analysis.feed_batch(batch)
+
     def feed(self, event):
         for analysis in self._event_consumers:
             analysis.feed(event)

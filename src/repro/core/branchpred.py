@@ -152,6 +152,30 @@ class BranchPredictionStream:
         if taken and record.target is not None and record.target <= pc:
             self._closing.add(pc)
 
+    def feed_batch(self, batch):
+        """Account one :class:`~repro.trace.batch.RecordBatch` -- the
+        columnar form of :meth:`feed` (a ``target`` of ``-1`` encodes
+        ``None``)."""
+        k_branch = _K_BRANCH
+        per_pc = self._per_pc
+        closing = self._closing
+        predictors = self.predictors
+        for pc, kind, taken, target in zip(batch.pcs, batch.kinds,
+                                           batch.takens, batch.targets):
+            if kind != k_branch:
+                continue
+            taken = bool(taken)
+            tallies = per_pc.get(pc)
+            if tallies is None:
+                tallies = per_pc[pc] = [0] * (len(predictors) + 1)
+            tallies[0] += 1
+            for slot, predictor in enumerate(predictors, start=1):
+                if predictor.predict(pc) == taken:
+                    tallies[slot] += 1
+                predictor.update(pc, taken)
+            if taken and 0 <= target <= pc:
+                closing.add(pc)
+
     def reports(self, name="workload"):
         """One :class:`BranchPredictionReport` per predictor, in order."""
         reports = [BranchPredictionReport(name)

@@ -118,6 +118,54 @@ class CurrentLoopStack:
             return self._process_taken(seq, pc, target)
         return ()
 
+    def process_batch(self, batch, events=None):
+        """Apply one :class:`~repro.trace.batch.RecordBatch` of control
+        transfers; returns the (possibly shared) list the batch's loop
+        events were appended to, in stream order.
+
+        Behaviourally identical to calling :meth:`process` per record
+        (pinned by tests); the batch loop reads the columns directly and
+        skips the common no-event cases -- calls, forward or missing
+        targets with nothing stacked -- without touching the per-rule
+        methods.  A ``target`` of ``-1`` encodes ``None``.
+        """
+        if events is None:
+            events = []
+        extend = events.extend
+        k_branch = _K_BRANCH
+        k_jump = _K_JUMP
+        k_ijump = _K_IJUMP
+        k_ret = _K_RET
+        for seq, pc, kind, taken, target in zip(
+                batch.seqs, batch.pcs, batch.kinds, batch.takens,
+                batch.targets):
+            if kind == k_branch:
+                if taken:
+                    if target < 0:
+                        continue
+                    if target > pc and not self.entries:
+                        continue
+                    evs = self._process_taken(seq, pc, target)
+                else:
+                    if target < 0 or target > pc:
+                        continue
+                    evs = self._process_not_taken(seq, pc, target)
+            elif kind == k_jump or kind == k_ijump:
+                if not taken or target < 0:
+                    continue
+                if target > pc and not self.entries:
+                    continue
+                evs = self._process_taken(seq, pc, target)
+            elif kind == k_ret:
+                if not self.entries:
+                    continue
+                evs = self._process_return(seq, pc)
+            else:
+                continue        # calls, halt, and unknown kinds
+            if evs:
+                extend(evs)
+        return events
+
     def flush(self, seq):
         """End of trace: terminate every stacked execution."""
         events = []

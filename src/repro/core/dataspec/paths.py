@@ -7,6 +7,12 @@ iterations, which underpins live-in value speculation: same-path
 iterations see the same live-in sets.
 """
 
+#: The incremental path-hash parameters.  The batched collect loop in
+#: :mod:`repro.core.dataspec.stats` folds the same hash inline; both
+#: sides must use these constants or the reference and columnar
+#: front ends stop producing comparable digests.
+HASH_SEED = 0x345678
+HASH_MULTIPLIER = 1000003
 _HASH_MASK = (1 << 61) - 1
 
 
@@ -16,12 +22,12 @@ class PathSignature:
     __slots__ = ("value", "length")
 
     def __init__(self):
-        self.value = 0x345678
+        self.value = HASH_SEED
         self.length = 0
 
     def update(self, pc, taken):
         token = pc * 2 + (1 if taken else 0)
-        self.value = ((self.value * 1000003) ^ token) & _HASH_MASK
+        self.value = ((self.value * HASH_MULTIPLIER) ^ token) & _HASH_MASK
         self.length += 1
 
     def digest(self):

@@ -12,9 +12,16 @@ registers / memory locations.  Then, per loop:
   (the paper's methodology), while updating history on every iteration.
 """
 
+from repro.core.cls import CurrentLoopStack
 from repro.core.detector import LoopDetector
-from repro.core.dataspec.livein import IterationTracker
-from repro.core.dataspec.paths import PathProfile
+from repro.core.dataspec.livein import IterationObservation, \
+    IterationTracker
+from repro.core.dataspec.paths import (
+    HASH_MULTIPLIER,
+    HASH_SEED,
+    _HASH_MASK,
+    PathProfile,
+)
 from repro.core.events import ExecutionEnd, IterationStart
 from repro.core.predictors import LastPlusStride
 
@@ -100,14 +107,55 @@ class DataSpecStats:
                    100 * self.lm_pred, 100 * self.all_data))
 
 
+class _BatchTracker:
+    """One in-flight iteration's state for the columnar collect loop.
+
+    Unlike :class:`~repro.core.dataspec.livein.IterationTracker` it
+    keeps no written-register/written-address sets: the batched
+    pass tracks the *global* last-write sequence per register and
+    address instead, and an operand is live-in exactly when its last
+    write is not after the iteration's start (``lw <= start``).  The
+    path signature is folded inline.
+    """
+
+    __slots__ = ("loop", "exec_id", "iteration", "start", "sigval",
+                 "siglen", "live_regs", "live_mem")
+
+    def __init__(self, loop, exec_id, iteration, start):
+        self.loop = loop
+        self.exec_id = exec_id
+        self.iteration = iteration
+        self.start = start
+        self.sigval = HASH_SEED         # PathSignature's parameters
+        self.siglen = 0
+        self.live_regs = {}
+        self.live_mem = {}
+
+
 class DataSpeculationAnalyzer:
-    """Runs the section-4 study over a full trace."""
+    """Runs the section-4 study over a full trace.
+
+    Two equivalent front ends: :meth:`analyze` consumes a materialized
+    :class:`~repro.trace.stream.FullTrace` (the reference
+    implementation), :meth:`analyze_batches` streams
+    :class:`~repro.trace.batch.FullBatch` columns from a
+    :class:`~repro.cpu.tracer.ChunkedFullTracer` without ever building
+    a record object -- the pipeline's path.  Equivalence is pinned by
+    tests.
+    """
 
     def __init__(self, cls_capacity=16):
         self.cls_capacity = cls_capacity
 
     def analyze(self, full_trace, name="workload"):
         observations_by_loop, profile = self._collect(full_trace)
+        return self._evaluate(observations_by_loop, profile, name)
+
+    def analyze_batches(self, batches, name="workload"):
+        """Run the study over an iterable of
+        :class:`~repro.trace.batch.FullBatch` (must cover every
+        executed instruction contiguously from sequence 0)."""
+        observations_by_loop, profile = self._collect_batches(batches)
         return self._evaluate(observations_by_loop, profile, name)
 
     # -- pass 1: per-iteration observation ----------------------------------
@@ -145,6 +193,99 @@ class DataSpeculationAnalyzer:
                         if old is not None:
                             finalize(old)
         for event in detector.finish(full_trace.total_instructions):
+            if type(event) is ExecutionEnd:
+                old = trackers.pop(event.exec_id, None)
+                if old is not None:
+                    finalize(old)
+        return observations, profile
+
+    def _collect_batches(self, batches):
+        """Columnar twin of :meth:`_collect`.
+
+        Per instruction the loop touches only the populated effect
+        slots; register/address write *sets* per iteration are replaced
+        by two global last-write maps, so stores and register writes
+        cost one dict assignment regardless of how many iterations are
+        in flight.  Event handling, finalization order and the
+        resulting observations are identical to the per-record pass.
+        """
+        cls = CurrentLoopStack(capacity=self.cls_capacity)
+        process = cls.process
+        trackers = {}                 # exec_id -> _BatchTracker
+        live = ()                     # tuple view of trackers.values()
+        observations = {}             # loop -> [IterationObservation]
+        profile = PathProfile()
+        record_path = profile.record
+        last_reg_write = {}           # reg -> seq of latest write
+        last_mem_write = {}           # addr -> seq of latest store
+        rw_get = last_reg_write.get
+        mw_get = last_mem_write.get
+        hash_mask = _HASH_MASK
+        hash_mult = HASH_MULTIPLIER
+        seq = 0
+
+        def finalize(t):
+            digest = (t.sigval, t.siglen)
+            record_path(t.loop, digest)
+            obs = IterationObservation(t.loop, t.exec_id, t.iteration,
+                                       digest, t.live_regs, t.live_mem)
+            observations.setdefault(t.loop, []).append(obs)
+
+        for batch in batches:
+            for pc, kind, taken, target, r1, v1, r2, v2, w, ma, mv, wa \
+                    in zip(batch.pcs, batch.kinds, batch.takens,
+                           batch.targets, batch.rr1, batch.rv1,
+                           batch.rr2, batch.rv2, batch.wr, batch.mra,
+                           batch.mrv, batch.mwa):
+                # The instruction belongs to the iterations in flight
+                # *before* any loop event it triggers (a closing branch
+                # is part of the iteration it ends).
+                if live:
+                    if r1 >= 0:
+                        lw = rw_get(r1, -1)
+                        for t in live:
+                            if lw <= t.start and r1 not in t.live_regs:
+                                t.live_regs[r1] = v1
+                    if r2 >= 0:
+                        lw = rw_get(r2, -1)
+                        for t in live:
+                            if lw <= t.start and r2 not in t.live_regs:
+                                t.live_regs[r2] = v2
+                    if ma is not None:
+                        lw = mw_get(ma, -1)
+                        for t in live:
+                            if lw <= t.start and pc not in t.live_mem:
+                                t.live_mem[pc] = (ma, mv)
+                if w >= 0:
+                    last_reg_write[w] = seq
+                if wa is not None:
+                    last_mem_write[wa] = seq
+                if kind:
+                    if live:
+                        token = pc * 2 + taken
+                        for t in live:
+                            t.sigval = ((t.sigval * hash_mult) ^ token) \
+                                & hash_mask
+                            t.siglen += 1
+                    events = process(seq, pc, kind, taken,
+                                     None if target < 0 else target)
+                    if events:
+                        for event in events:
+                            etype = type(event)
+                            if etype is IterationStart:
+                                old = trackers.get(event.exec_id)
+                                if old is not None:
+                                    finalize(old)
+                                trackers[event.exec_id] = _BatchTracker(
+                                    event.loop, event.exec_id,
+                                    event.iteration, seq)
+                            elif etype is ExecutionEnd:
+                                old = trackers.pop(event.exec_id, None)
+                                if old is not None:
+                                    finalize(old)
+                        live = tuple(trackers.values())
+                seq += 1
+        for event in cls.flush(seq):
             if type(event) is ExecutionEnd:
                 old = trackers.pop(event.exec_id, None)
                 if old is not None:

@@ -108,6 +108,22 @@ class LoopDetector:
             self._absorb(events)
         return events
 
+    def feed_batch(self, batch):
+        """Process one :class:`~repro.trace.batch.RecordBatch`; returns
+        the (ordered) events it caused.
+
+        The columnar fast path: one
+        :meth:`CurrentLoopStack.process_batch` call per batch instead
+        of one :meth:`feed` per record, with bookkeeping and listener
+        fan-out amortized over the whole batch.  Event order -- and
+        therefore every downstream consumer -- is identical to the
+        per-record path.
+        """
+        events = self.cls.process_batch(batch)
+        if events:
+            self._absorb(events)
+        return events
+
     def finish(self, total_instructions):
         """Flush the CLS at end of trace; returns the flush events."""
         events = self.cls.flush(total_instructions)
@@ -135,6 +151,16 @@ class LoopDetector:
         feed = self.feed
         for record in records:
             feed(record)
+        self.finish(total_instructions)
+        return self.index(total_instructions)
+
+    def run_batches(self, batches, total_instructions):
+        """Like :meth:`run`, over an iterable of
+        :class:`~repro.trace.batch.RecordBatch` (e.g. the stream of
+        :func:`repro.trace.io.open_cf_batches`)."""
+        feed_batch = self.feed_batch
+        for batch in batches:
+            feed_batch(batch)
         self.finish(total_instructions)
         return self.index(total_instructions)
 

@@ -14,6 +14,8 @@ Machine`; the duplication is the price of a usable simulation rate in
 pure Python, and equivalence is pinned by differential tests.
 """
 
+from array import array
+
 from repro.isa.errors import ProgramError
 from repro.isa.instructions import InstrKind
 from repro.isa.registers import NUM_REGISTERS, REG_SP
@@ -28,6 +30,7 @@ from repro.cpu.machine import (
     _ALU, _BRANCH, _IMM_TO_REG,
     pack_program, wrap64,
 )
+from repro.trace.batch import NO_TARGET, FullBatch, RecordBatch
 from repro.trace.record import CFRecord, FullRecord
 from repro.trace.stream import CFTrace, FullTrace
 
@@ -209,7 +212,21 @@ class ChunkedCFTracer:
 
     def chunks(self):
         """Generate lists of :class:`CFRecord`, each at most
-        ``chunk_size`` long, in execution order."""
+        ``chunk_size`` long, in execution order (decoding adapter over
+        :meth:`batches`)."""
+        for batch in self.batches():
+            yield list(batch.iter_records())
+
+    def batches(self):
+        """Generate :class:`~repro.trace.batch.RecordBatch` columns of
+        at most ``chunk_size`` records, in execution order.
+
+        This is the native emission path: the interpretation loop
+        appends directly to the batch columns, so no
+        :class:`CFRecord` is ever constructed between the machine and
+        a batch consumer (the v3 cache writer, the loop detector's
+        ``feed_batch``).
+        """
         program = self.program
         chunk = self.chunk_size
         max_instructions = self.max_instructions
@@ -218,8 +235,16 @@ class ChunkedCFTracer:
         regs[REG_SP] = STACK_TOP
         mem = dict(program.data.initial)
         mem_get = mem.get
-        records = []
-        append = records.append
+        c_seq = array("q")
+        c_pc = array("q")
+        c_kind = array("b")
+        c_taken = array("b")
+        c_target = array("q")
+        sq_a = c_seq.append
+        pc_a = c_pc.append
+        kd_a = c_kind.append
+        tk_a = c_taken.append
+        tg_a = c_target.append
         pc = program.entry
         seq = 0
         halted = False
@@ -227,10 +252,18 @@ class ChunkedCFTracer:
         branch = _BRANCH
 
         while seq < max_instructions:
-            if len(records) >= chunk:
-                yield records
-                records = []
-                append = records.append
+            if len(c_seq) >= chunk:
+                yield RecordBatch(c_seq, c_pc, c_kind, c_taken, c_target)
+                c_seq = array("q")
+                c_pc = array("q")
+                c_kind = array("b")
+                c_taken = array("b")
+                c_target = array("q")
+                sq_a = c_seq.append
+                pc_a = c_pc.append
+                kd_a = c_kind.append
+                tk_a = c_taken.append
+                tg_a = c_target.append
             code, rd, rs1, rs2, imm, target = packed[pc]
             if code == C_ADDI:
                 v = regs[rs1] + imm
@@ -248,7 +281,11 @@ class ChunkedCFTracer:
                 pc += 1
             elif code in BRANCH_CODES:
                 taken = branch[code](regs[rs1], regs[rs2])
-                append(CFRecord(seq, pc, _K_BRANCH, taken, target))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_BRANCH)
+                tk_a(1 if taken else 0)
+                tg_a(target)
                 pc = target if taken else pc + 1
             elif code == C_ADD:
                 v = regs[rs1] + regs[rs2]
@@ -287,22 +324,42 @@ class ChunkedCFTracer:
                     regs[rd] = v
                 pc += 1
             elif code == C_JMP:
-                append(CFRecord(seq, pc, _K_JUMP, True, target))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_JUMP)
+                tk_a(1)
+                tg_a(target)
                 pc = target
             elif code == C_CALL:
                 regs[1] = pc + 1
-                append(CFRecord(seq, pc, _K_CALL, True, target))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_CALL)
+                tk_a(1)
+                tg_a(target)
                 pc = target
             elif code == C_RET:
                 nxt = regs[1]
-                append(CFRecord(seq, pc, _K_RET, True, nxt))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_RET)
+                tk_a(1)
+                tg_a(nxt)
                 pc = nxt
             elif code == C_JR:
                 nxt = regs[rs1]
-                append(CFRecord(seq, pc, _K_IJUMP, True, nxt))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_IJUMP)
+                tk_a(1)
+                tg_a(nxt)
                 pc = nxt
             elif code == C_HALT:
-                append(CFRecord(seq, pc, _K_HALT, False, None))
+                sq_a(seq)
+                pc_a(pc)
+                kd_a(_K_HALT)
+                tk_a(0)
+                tg_a(NO_TARGET)
                 seq += 1
                 halted = True
                 break
@@ -324,8 +381,8 @@ class ChunkedCFTracer:
             raise TraceBudgetExceeded(
                 "program %r did not halt within %d instructions"
                 % (program.name, max_instructions))
-        if records:
-            yield records
+        if len(c_seq):
+            yield RecordBatch(c_seq, c_pc, c_kind, c_taken, c_target)
         self._total = seq
         self._halted = halted
         self._finished = True
@@ -444,3 +501,309 @@ def trace_full(program, max_instructions=1_000_000, allow_truncation=True):
             % (program.name, max_instructions))
     return FullTrace(records=records, total_instructions=seq, halted=halted,
                      program_name=program.name)
+
+
+class ChunkedFullTracer:
+    """Full-effects tracing with bounded-memory columnar emission.
+
+    The dispatch of :func:`trace_full`, emitting
+    :class:`~repro.trace.batch.FullBatch` columns instead of
+    :class:`~repro.trace.record.FullRecord` tuples: per instruction the
+    loop appends to the fixed effect slots (two register reads, one
+    register write, one memory access -- see :class:`FullBatch`), so
+    the data-speculation study streams a workload's architectural
+    effects without materializing millions of nested tuples.
+    Equivalence with :func:`trace_full` is pinned by tests.
+
+    Reads of (and writes to) register 0 are not emitted -- the zero
+    register is never a live-in and its writes are discarded.
+
+    ``total_instructions`` and ``halted`` are only valid once
+    :meth:`batches` is exhausted, as for :class:`ChunkedCFTracer`.
+    """
+
+    DEFAULT_CHUNK = 32768
+
+    def __init__(self, program, max_instructions=1_000_000,
+                 allow_truncation=True, chunk_size=DEFAULT_CHUNK):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.program = program
+        self.program_name = program.name
+        self.max_instructions = max_instructions
+        self.allow_truncation = allow_truncation
+        self.chunk_size = chunk_size
+        self._finished = False
+        self._total = None
+        self._halted = None
+
+    @property
+    def total_instructions(self):
+        if not self._finished:
+            raise RuntimeError("trace not finished; exhaust batches() first")
+        return self._total
+
+    @property
+    def halted(self):
+        if not self._finished:
+            raise RuntimeError("trace not finished; exhaust batches() first")
+        return self._halted
+
+    def batches(self):
+        """Generate :class:`FullBatch` columns of at most ``chunk_size``
+        instructions, in execution order."""
+        program = self.program
+        chunk = self.chunk_size
+        max_instructions = self.max_instructions
+        packed = pack_program(program)
+        regs = [0] * NUM_REGISTERS
+        regs[REG_SP] = STACK_TOP
+        mem = dict(program.data.initial)
+        mem_get = mem.get
+        pc = program.entry
+        seq = 0
+        start_seq = 0
+        halted = False
+        alu = _ALU
+        branch = _BRANCH
+        k_other = int(InstrKind.OTHER)
+
+        def fresh():
+            return ([], [], [], [], [], [], [], [], [], [], [], [])
+
+        (pcs, kinds, takens, targets, rr1, rv1, rr2, rv2, wr, mra, mrv,
+         mwa) = fresh()
+
+        while seq < max_instructions:
+            if len(pcs) >= chunk:
+                yield FullBatch(start_seq, pcs, kinds, takens, targets,
+                                rr1, rv1, rr2, rv2, wr, mra, mrv, mwa)
+                start_seq = seq
+                (pcs, kinds, takens, targets, rr1, rv1, rr2, rv2, wr,
+                 mra, mrv, mwa) = fresh()
+            code, rd, rs1, rs2, imm, target = packed[pc]
+            if code <= C_MAX:  # three-register ALU block
+                a = regs[rs1]
+                b = regs[rs2]
+                v = alu[code](a, b)
+                if rd:
+                    regs[rd] = v
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(a)
+                rr2.append(rs2 if rs2 else -1)
+                rv2.append(b)
+                wr.append(rd if rd else -1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            elif code <= C_SLTI:  # immediate ALU block
+                a = regs[rs1]
+                v = alu[_IMM_TO_REG[code]](a, imm)
+                if rd:
+                    regs[rd] = v
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(a)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(rd if rd else -1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            elif code == C_LI:
+                if rd:
+                    regs[rd] = imm
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(-1)
+                rv1.append(0)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(rd if rd else -1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            elif code == C_MV:
+                a = regs[rs1]
+                if rd:
+                    regs[rd] = a
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(a)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(rd if rd else -1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            elif code == C_LD:
+                base = regs[rs1]
+                addr = base + imm
+                v = mem_get(addr, 0)
+                if rd:
+                    regs[rd] = v
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(base)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(rd if rd else -1)
+                mra.append(addr)
+                mrv.append(v)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            elif code == C_ST:
+                base = regs[rs1]
+                addr = base + imm
+                v = regs[rs2]
+                mem[addr] = v
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(base)
+                rr2.append(rs2 if rs2 else -1)
+                rv2.append(v)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(addr)
+                pcs.append(pc)
+                pc += 1
+            elif code in BRANCH_CODES:
+                a = regs[rs1]
+                b = regs[rs2]
+                taken = branch[code](a, b)
+                kinds.append(_K_BRANCH)
+                takens.append(1 if taken else 0)
+                targets.append(target)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(a)
+                rr2.append(rs2 if rs2 else -1)
+                rv2.append(b)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc = target if taken else pc + 1
+            elif code == C_JMP:
+                kinds.append(_K_JUMP)
+                takens.append(1)
+                targets.append(target)
+                rr1.append(-1)
+                rv1.append(0)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc = target
+            elif code == C_CALL:
+                regs[1] = pc + 1
+                kinds.append(_K_CALL)
+                takens.append(1)
+                targets.append(target)
+                rr1.append(-1)
+                rv1.append(0)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc = target
+            elif code == C_RET:
+                nxt = regs[1]
+                kinds.append(_K_RET)
+                takens.append(1)
+                targets.append(nxt)
+                rr1.append(1)
+                rv1.append(nxt)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc = nxt
+            elif code == C_JR:
+                nxt = regs[rs1]
+                kinds.append(_K_IJUMP)
+                takens.append(1)
+                targets.append(nxt)
+                rr1.append(rs1 if rs1 else -1)
+                rv1.append(nxt)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc = nxt
+            elif code == C_HALT:
+                kinds.append(_K_HALT)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(-1)
+                rv1.append(0)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                seq += 1
+                halted = True
+                break
+            else:  # NOP
+                kinds.append(k_other)
+                takens.append(0)
+                targets.append(NO_TARGET)
+                rr1.append(-1)
+                rv1.append(0)
+                rr2.append(-1)
+                rv2.append(0)
+                wr.append(-1)
+                mra.append(None)
+                mrv.append(None)
+                mwa.append(None)
+                pcs.append(pc)
+                pc += 1
+            seq += 1
+
+        if not halted and not self.allow_truncation:
+            raise TraceBudgetExceeded(
+                "program %r did not halt within %d instructions"
+                % (program.name, max_instructions))
+        if pcs:
+            yield FullBatch(start_seq, pcs, kinds, takens, targets,
+                            rr1, rv1, rr2, rv2, wr, mra, mrv, mwa)
+        self._total = seq
+        self._halted = halted
+        self._finished = True

@@ -98,6 +98,18 @@ class AblationsAnalysis(Analysis):
                     if type(event) is ExecutionStart
                     or type(event) is SingleIteration)
 
+    def feed_batch(self, batch):
+        # Columnar path: one process_batch call per sweep stack; only
+        # execution starts are counted, so event order within the
+        # batch is irrelevant.
+        for entry in self._stack_list:
+            events = entry[0].process_batch(batch)
+            if events:
+                entry[1] += sum(
+                    1 for event in events
+                    if type(event) is ExecutionStart
+                    or type(event) is SingleIteration)
+
     def feed(self, event):
         for sim in self._owned:
             sim.on_event(event)

@@ -37,6 +37,9 @@ class BaselinesAnalysis(Analysis):
     def feed_record(self, record):
         self._stream.feed(record)
 
+    def feed_batch(self, batch):
+        self._stream.feed_batch(batch)
+
     def abort(self, ctx):
         self._stream = None
 

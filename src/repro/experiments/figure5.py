@@ -39,6 +39,13 @@ class Figure5Analysis(Analysis):
         if record.seq < self._prefix_limit:
             self._prefix_detector.feed(record)
 
+    def feed_batch(self, batch):
+        # Zero-copy columnar path: the prefix is a slice of the sorted
+        # seq column, and the prefix detector consumes it as a batch.
+        prefix = batch.prefix(self._prefix_limit)
+        if len(prefix):
+            self._prefix_detector.feed_batch(prefix)
+
     def abort(self, ctx):
         self._prefix_detector = None
 

@@ -1,18 +1,19 @@
 """Content-keyed on-disk cache for control-flow traces.
 
-Each entry is one v2 trace file whose name embeds every parameter that
-determines its content — workload name, scale, effective instruction
-budget, the trace format version, and a digest of the compiled program
-itself (:func:`program_fingerprint`)::
+Each entry is one binary v3 trace file whose name embeds every
+parameter that determines its content — workload name, scale,
+effective instruction budget, the trace format version, and a digest
+of the compiled program itself (:func:`program_fingerprint`)::
 
-    <root>/swim-s1-m2000000-v2-1f8a0c93d2e47b56.cft
+    <root>/swim-s1-m2000000-v3-1f8a0c93d2e47b56.cft
 
 Changing any parameter, bumping
 :data:`repro.trace.io.TRACE_FORMAT_VERSION`, or *editing a workload's
 generator* therefore changes the key, so stale entries are never read,
-only orphaned.  Writes go through a temp file and ``os.replace`` so
-concurrent tracer processes can race on the same entry safely: last
-writer wins with identical content.
+only orphaned (v2-era entries linger until ``tools/trace_cache.py
+prune``/``clear`` removes them).  Writes go through a temp file and
+``os.replace`` so concurrent tracer processes can race on the same
+entry safely: last writer wins with identical content.
 
 Corrupt entries (truncated, tampered) fail header/count validation in
 :mod:`repro.trace.io`; :meth:`TraceCache.load` treats that as a miss,
@@ -24,11 +25,12 @@ import os
 
 from repro.cpu.machine import pack_program
 from repro.trace.io import (
-    CFTraceWriter,
+    BatchTraceWriter,
     TRACE_FORMAT_VERSION,
     atomic_writer,
     dump_cf_trace,
     load_cf_trace,
+    open_cf_batches,
     open_cf_records,
     read_cf_header,
 )
@@ -116,6 +118,20 @@ class TraceCache:
         except (OSError, ValueError):
             return None
 
+    def open_batches(self, name, scale, max_instructions, fingerprint):
+        """Columnar streaming access: ``(header, batch_iterator)`` or
+        ``None`` -- the session's replay path.
+
+        The iterator yields :class:`~repro.trace.batch.RecordBatch`
+        straight off the v3 chunks and raises :class:`ValueError` if
+        the file turns out to be truncated mid-stream.
+        """
+        path = self.path(name, scale, max_instructions, fingerprint)
+        try:
+            return open_cf_batches(path)
+        except (OSError, ValueError):
+            return None
+
     # -- writes --------------------------------------------------------------
 
     def store(self, trace, name, scale, max_instructions, fingerprint):
@@ -130,15 +146,17 @@ class TraceCache:
         """Atomically write a trace while it is being generated.
 
         *tracer* follows the :class:`~repro.cpu.tracer.ChunkedCFTracer`
-        protocol: a ``chunks()`` generator plus ``total_instructions``/
-        ``halted``/``program_name`` valid after exhaustion.  The record
-        list is never materialized in this process.
+        protocol: a ``batches()`` generator of
+        :class:`~repro.trace.batch.RecordBatch` plus
+        ``total_instructions``/``halted``/``program_name`` valid after
+        exhaustion.  Columns go from the interpretation loop to disk
+        without a record object or text line in between.
         """
         os.makedirs(self.root, exist_ok=True)
         path = self.path(name, scale, max_instructions, fingerprint)
-        with atomic_writer(path) as fh:
-            writer = CFTraceWriter(fh, tracer.program_name)
-            for chunk in tracer.chunks():
-                writer.write(chunk)
+        with atomic_writer(path, binary=True) as fh:
+            writer = BatchTraceWriter(fh, tracer.program_name)
+            for batch in tracer.batches():
+                writer.write_batch(batch)
             writer.close(tracer.total_instructions, tracer.halted)
         return path

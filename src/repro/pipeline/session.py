@@ -13,9 +13,10 @@ pipeline
 2. persists traces through the content-keyed on-disk
    :class:`~repro.pipeline.cache.TraceCache`, so a warm session skips
    interpretation entirely; and
-3. streams cached records straight into :meth:`LoopDetector.feed` —
-   neither detection nor analysis requires the full record list in
-   memory.
+3. streams cached :class:`~repro.trace.batch.RecordBatch` columns
+   straight into :meth:`LoopDetector.feed_batch` — neither detection
+   nor analysis requires the full record list in memory, and no
+   record object is constructed between disk and the column loops.
 
 The legacy per-experiment surface (:meth:`trace`, :meth:`index`,
 :meth:`indexes`) remains for interactive use; the old sequential
@@ -30,6 +31,7 @@ from repro.core.detector import LoopDetector
 from repro.pipeline import worker
 from repro.pipeline.cache import TraceCache, program_fingerprint
 from repro.pipeline.config import PipelineConfig
+from repro.trace.batch import iter_batches
 from repro.trace.io import loads_cf_trace
 from repro.workloads import get, suite
 
@@ -50,22 +52,22 @@ class SessionStats:
 
 
 class _CorruptStream(Exception):
-    """A cached record stream raised ValueError mid-iteration."""
+    """A cached batch stream raised ValueError mid-iteration."""
 
 
-def _guard_stream(records):
+def _guard_stream(batches):
     """Re-raise the *iterator's* ValueError as :class:`_CorruptStream`
     so truncation is distinguishable from an analysis pass raising
     ValueError of its own."""
-    iterator = iter(records)
+    iterator = iter(batches)
     while True:
         try:
-            record = next(iterator)
+            batch = next(iterator)
         except StopIteration:
             return
         except ValueError as exc:
             raise _CorruptStream() from exc
-        yield record
+        yield batch
 
 
 class SimulationSession:
@@ -150,16 +152,16 @@ class SimulationSession:
                 index = detector.run(self._traces[name])
             else:
                 limit = self.config.limit_for(workload)
-                stream = (self._cache.open_records(
+                stream = (self._cache.open_batches(
                               name, self.scale, limit,
                               self._fingerprint(name))
                           if self._cache is not None else None)
                 if stream is not None:
                     self._mark(name, cached=True)
-                    header, records = stream
+                    header, batches = stream
                     try:
-                        index = detector.run(records,
-                                             header.total_instructions)
+                        index = detector.run_batches(
+                            batches, header.total_instructions)
                     except ValueError:
                         # Entry truncated past its (valid) header; fall
                         # back to re-tracing with a fresh detector.
@@ -202,23 +204,22 @@ class SimulationSession:
         trace = self._traces.get(name)
         stream = None
         if trace is None and self._cache is not None:
-            stream = self._cache.open_records(name, self.scale, limit,
+            stream = self._cache.open_batches(name, self.scale, limit,
                                               self._fingerprint(name))
         if trace is None and stream is None:
             trace = self.trace(name)
 
         if trace is not None:
-            records = trace.records
+            batches = iter_batches(trace.records)
             total = trace.total_instructions
         else:
             self._mark(name, cached=True)
-            header, records = stream
+            header, cached_batches = stream
+            batches = _guard_stream(cached_batches)
             total = header.total_instructions
 
         try:
-            index = self._replay(workload, suite,
-                                 records if trace is not None
-                                 else _guard_stream(records), total)
+            index = self._replay(workload, suite, batches, total)
         except _CorruptStream:
             # The cache entry was truncated past its (valid) header:
             # drop the partially fed state and replay from a fresh
@@ -227,7 +228,8 @@ class SimulationSession:
             # retried — only the stream's own ValueError is wrapped.
             suite.abort(self._context(workload, total))
             trace = self.trace(name)
-            index = self._replay(workload, suite, trace.records,
+            index = self._replay(workload, suite,
+                                 iter_batches(trace.records),
                                  trace.total_instructions)
         self._indexes.setdefault(name, index)
 
@@ -245,26 +247,35 @@ class SimulationSession:
             cls_capacity=self.config.cls_capacity, detector=detector,
             timing=timing)
 
-    def _replay(self, workload, suite, records, total):
-        """One full record-stream replay into *suite*; returns the
-        loop index built by the canonical detector along the way."""
+    def _replay(self, workload, suite, batches, total):
+        """One full batched record-stream replay into *suite*; returns
+        the loop index built by the canonical detector along the way.
+
+        *batches* is an iterable of :class:`~repro.trace.batch.
+        RecordBatch` (a cached v3 stream, or an in-memory trace through
+        :func:`~repro.trace.batch.iter_batches`).  Per batch, records
+        fan out to the suite's record consumers and the timing model,
+        then the detector's columnar fast path turns them into loop
+        events -- event order is identical to the per-record replay.
+        """
         detector = LoopDetector(cls_capacity=self.config.cls_capacity)
         ctx = self._context(workload, total, detector)
         suite.begin(ctx)
         self.stats.replays += 1
         wants_records = suite.wants_records
         timing = ctx.timing
-        timing_feed = (timing.feed_record
+        timing_feed = (timing.feed_batch
                        if timing is not None and timing.wants_records
                        else None)
         feed = suite.feed
-        detect = detector.feed
-        for record in records:
+        feed_batch = suite.feed_batch
+        detect_batch = detector.feed_batch
+        for batch in batches:
             if wants_records:
-                suite.feed_record(record)
+                feed_batch(batch)
             if timing_feed is not None:
-                timing_feed(record)
-            for event in detect(record):
+                timing_feed(batch)
+            for event in detect_batch(batch):
                 feed(event)
         for event in detector.finish(total):
             feed(event)

@@ -9,12 +9,12 @@ parent-process state beyond its arguments: under the ``spawn`` start
 method a fresh interpreter imports this module and nothing else.
 
 Pooled callers pass the workload *name* (resolved through the registry
-in the child) and get the trace via the cache — streamed to disk in
-bounded chunks, nothing shipped over the result pipe — or, without a
-cache, as serialized v2 text.  Inline callers pass the Workload object
-itself (which also supports unregistered workloads) with
-``materialize=True`` and get the in-memory :class:`CFTrace` directly,
-with no disk round-trip.
+in the child) and get the trace via the cache — batches streamed to
+disk as columnar v3 chunks, nothing shipped over the result pipe — or,
+without a cache, as serialized v3 bytes.  Inline callers pass the
+Workload object itself (which also supports unregistered workloads)
+with ``materialize=True`` and get the in-memory :class:`CFTrace`
+directly, with no disk round-trip.
 """
 
 from repro.cpu.tracer import ChunkedCFTracer
@@ -31,7 +31,7 @@ def trace_workload(workload, scale=1, max_instructions=None,
     * the :class:`CFTrace` itself when ``materialize=True``;
     * ``None`` when the trace was written to (or already present in)
       the cache;
-    * otherwise the serialized v2 trace text.
+    * otherwise the serialized v3 trace bytes.
 
     ``max_instructions=None`` uses the workload's default budget,
     mirroring the cache key computation in the session.

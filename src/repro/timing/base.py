@@ -57,6 +57,15 @@ class TimingModel:
         """One control-flow record of the workload being replayed
         (only called when :attr:`wants_records`)."""
 
+    def feed_batch(self, batch):
+        """One :class:`~repro.trace.batch.RecordBatch` of the replay
+        (only called when :attr:`wants_records`).  The default decodes
+        to :meth:`feed_record`; record-fed models override it with a
+        columnar loop."""
+        feed_record = self.feed_record
+        for record in batch.iter_records():
+            feed_record(record)
+
     # -- rates ---------------------------------------------------------------
 
     def cycles(self, pos, distance):

@@ -165,6 +165,21 @@ class ClassCostTiming(TimingModel):
             self._seqs.append(record.seq)
             self._extra.append(self._total_extra)
 
+    def feed_batch(self, batch):
+        # Columnar fast path: only the seq and kind columns matter.
+        costs = self._costs
+        other = self.other
+        total = self._total_extra
+        seqs_out = self._seqs
+        extra_out = self._extra
+        for seq, kind in zip(batch.seqs, batch.kinds):
+            delta = costs[kind] - other
+            if delta:
+                total += delta
+                seqs_out.append(seq)
+                extra_out.append(total)
+        self._total_extra = total
+
     def _cost_to(self, pos):
         """Cycles to execute stream positions ``[0, pos)``."""
         i = bisect_left(self._seqs, pos)

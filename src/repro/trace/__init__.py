@@ -1,9 +1,16 @@
-"""Dynamic trace infrastructure (records, containers, statistics, IO)."""
+"""Dynamic trace infrastructure (records, batches, statistics, IO)."""
 
 from repro.trace.record import CFRecord, FullRecord
+from repro.trace.batch import (
+    NO_TARGET,
+    FullBatch,
+    RecordBatch,
+    iter_batches,
+)
 from repro.trace.stream import CFTrace, FullTrace, clip, straight_line_runs
 from repro.trace.stats import CFStats, basic_block_profile, collect_cf_stats
 from repro.trace.io import (
+    BatchTraceWriter,
     CFTraceWriter,
     TRACE_FORMAT_VERSION,
     TraceHeader,
@@ -11,6 +18,7 @@ from repro.trace.io import (
     dumps_cf_trace,
     load_cf_trace,
     loads_cf_trace,
+    open_cf_batches,
     open_cf_records,
     read_cf_header,
 )
@@ -18,6 +26,10 @@ from repro.trace.io import (
 __all__ = [
     "CFRecord",
     "FullRecord",
+    "NO_TARGET",
+    "FullBatch",
+    "RecordBatch",
+    "iter_batches",
     "CFTrace",
     "FullTrace",
     "clip",
@@ -25,6 +37,7 @@ __all__ = [
     "CFStats",
     "basic_block_profile",
     "collect_cf_stats",
+    "BatchTraceWriter",
     "CFTraceWriter",
     "TRACE_FORMAT_VERSION",
     "TraceHeader",
@@ -32,6 +45,7 @@ __all__ = [
     "dumps_cf_trace",
     "load_cf_trace",
     "loads_cf_trace",
+    "open_cf_batches",
     "open_cf_records",
     "read_cf_header",
 ]

@@ -41,9 +41,14 @@ class CFRecord(NamedTuple):
 
     @property
     def is_backward(self):
-        """Backward transfer per the paper: target at or before the pc."""
-        return self.taken is not None and self.target is not None \
-            and self.target <= self.pc
+        """Backward transfer per the paper: target at or before the pc.
+
+        Direction is a static property of the transfer -- a not-taken
+        backward branch is still backward (the CLS uses exactly this to
+        detect loop exits at B).  Only the halt record, which has no
+        target, is never backward.
+        """
+        return self.target is not None and self.target <= self.pc
 
     def describe(self):
         return "#%d pc=%d %s %s-> %s" % (

@@ -356,16 +356,17 @@ class TestGoldenEquivalence:
 class TestSharedWork:
     def test_dataspec_shared_between_figure8_and_extensions(self,
                                                             monkeypatch):
-        """figure8 + extensions in one suite analyze each full trace
-        exactly once."""
+        """figure8 + extensions in one suite analyze each full-effects
+        stream exactly once."""
         calls = []
-        original = DataSpeculationAnalyzer.analyze
+        original = DataSpeculationAnalyzer.analyze_batches
 
-        def counting(self, trace, name="workload"):
+        def counting(self, batches, name="workload"):
             calls.append(name)
-            return original(self, trace, name)
+            return original(self, batches, name)
 
-        monkeypatch.setattr(DataSpeculationAnalyzer, "analyze", counting)
+        monkeypatch.setattr(DataSpeculationAnalyzer, "analyze_batches",
+                            counting)
         session = make_session()
         suite, _ = build_suite(["figure8", "extensions"])
         session.analyze(suite)
@@ -482,8 +483,8 @@ class TestLifecycle:
         warm.ensure_traced()
         for entry in os.listdir(cache_dir):
             path = os.path.join(cache_dir, entry)
-            data = open(path).read()
-            open(path, "w").write(data[:len(data) * 3 // 4])
+            data = open(path, "rb").read()
+            open(path, "wb").write(data[:len(data) * 3 // 4])
         session = SimulationSession(workloads=WORKLOADS,
                                     max_instructions=LIMIT,
                                     cache_dir=cache_dir)

@@ -184,8 +184,8 @@ class TestCache:
         # Truncate every cache entry mid-file.
         for entry in os.listdir(cache_dir):
             path = os.path.join(cache_dir, entry)
-            data = open(path).read()
-            open(path, "w").write(data[:len(data) // 2])
+            data = open(path, "rb").read()
+            open(path, "wb").write(data[:len(data) // 2])
         second = SimulationSession(config(cache_dir=cache_dir))
         second_idx = dict(second.indexes())
         assert second.stats.traced == 2

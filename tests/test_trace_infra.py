@@ -137,11 +137,22 @@ class TestSerialization:
         assert clone.records == loop_trace.records
 
     def test_file_object_round_trip(self, loop_trace):
-        buf = io.StringIO()
+        buf = io.BytesIO()               # the default format is binary
         dump_cf_trace(loop_trace, buf)
         buf.seek(0)
         clone = load_cf_trace(buf)
         assert clone.records == loop_trace.records
+
+    def test_text_file_object_round_trip(self, loop_trace):
+        buf = io.StringIO()
+        dump_cf_trace(loop_trace, buf, version=2)
+        buf.seek(0)
+        clone = load_cf_trace(buf)
+        assert clone.records == loop_trace.records
+
+    def test_text_file_object_rejected_for_v3(self, loop_trace):
+        with pytest.raises(TypeError, match="binary"):
+            dump_cf_trace(loop_trace, io.StringIO(), version=3)
 
     def test_bad_header_rejected(self):
         with pytest.raises(ValueError):
@@ -232,7 +243,7 @@ class TestSerializationV2:
     def test_unknown_version_rejected(self, loop_trace):
         from repro.trace import dumps_cf_trace
         with pytest.raises(ValueError):
-            dumps_cf_trace(loop_trace, version=3)
+            dumps_cf_trace(loop_trace, version=99)
 
     def test_header_declares_record_count(self, loop_trace):
         from repro.trace import dumps_cf_trace, read_cf_header

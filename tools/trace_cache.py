@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Inspect and bound the on-disk trace cache.
+
+The content-keyed cache (:mod:`repro.pipeline.cache`) only ever
+*orphans* entries -- a format bump or workload edit changes the key and
+the old file just sits there.  This tool makes the cache directory
+inspectable and bounded::
+
+    python tools/trace_cache.py ls
+    python tools/trace_cache.py prune --max-bytes 50000000
+    python tools/trace_cache.py clear
+
+``ls`` prints one row per entry with its format version, record count,
+total instructions and size.  ``prune`` deletes corrupt entries and
+entries from other format versions (both unreadable by the current
+pipeline), then -- if ``--max-bytes`` is given -- the oldest remaining
+entries until the cache fits the budget.  ``clear`` deletes every
+entry.  All commands honour ``--cache-dir`` and the
+``REPRO_TRACE_CACHE`` environment variable, defaulting to the
+pipeline's default cache location.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.pipeline.config import default_cache_dir          # noqa: E402
+from repro.trace.io import TRACE_FORMAT_VERSION, read_cf_header  # noqa: E402
+from repro.util.fmt import format_table                      # noqa: E402
+
+
+class Entry:
+    """One cache file plus whatever its header reveals."""
+
+    __slots__ = ("path", "name", "size", "mtime", "version", "records",
+                 "total", "error")
+
+    def __init__(self, path):
+        self.path = path
+        self.name = os.path.basename(path)
+        stat = os.stat(path)
+        self.size = stat.st_size
+        self.mtime = stat.st_mtime
+        self.version = None
+        self.records = None
+        self.total = None
+        self.error = None
+        try:
+            header = read_cf_header(path)
+        except (OSError, ValueError) as exc:
+            self.error = str(exc)
+        else:
+            self.version = header.version
+            self.records = header.records
+            self.total = header.total_instructions
+
+    @property
+    def status(self):
+        if self.error is not None:
+            return "corrupt"
+        if self.version != TRACE_FORMAT_VERSION:
+            return "stale"
+        return "ok"
+
+
+def scan(root):
+    """Every ``*.cft`` entry under *root*, oldest first."""
+    if not os.path.isdir(root):
+        return []
+    entries = [Entry(os.path.join(root, name))
+               for name in sorted(os.listdir(root))
+               if name.endswith(".cft")]
+    entries.sort(key=lambda e: e.mtime)
+    return entries
+
+
+def _fmt_count(value):
+    return "?" if value is None else "%d" % value
+
+
+def cmd_ls(root, _args):
+    entries = scan(root)
+    if not entries:
+        print("trace cache %s is empty" % root)
+        return 0
+    rows = [(e.name, "v%s" % (e.version if e.version is not None
+                              else "?"),
+             _fmt_count(e.records), _fmt_count(e.total), e.size,
+             e.status)
+            for e in sorted(entries, key=lambda e: e.name)]
+    print(format_table(
+        ("entry", "fmt", "records", "instructions", "bytes", "status"),
+        rows, title="trace cache %s" % root))
+    total = sum(e.size for e in entries)
+    print("%d entr%s, %d bytes total"
+          % (len(entries), "y" if len(entries) == 1 else "ies", total))
+    return 0
+
+
+def _unlink(entry, reason, dry_run):
+    verb = "would remove" if dry_run else "removing"
+    print("%s %s (%s, %d bytes)" % (verb, entry.name, reason, entry.size))
+    if not dry_run:
+        try:
+            os.unlink(entry.path)
+        except OSError as exc:
+            print("  failed: %s" % exc)
+            return False
+    return True
+
+
+def cmd_prune(root, args):
+    entries = scan(root)
+    kept = []
+    removed = 0
+    for entry in entries:
+        if entry.status != "ok":
+            if _unlink(entry, entry.status, args.dry_run):
+                removed += 1
+            continue
+        kept.append(entry)
+    if args.max_bytes is not None:
+        total = sum(e.size for e in kept)
+        for entry in kept:              # oldest first
+            if total <= args.max_bytes:
+                break
+            if _unlink(entry, "over budget", args.dry_run):
+                total -= entry.size
+                removed += 1
+    verb = "would prune" if args.dry_run else "pruned"
+    print("%s %d entr%s" % (verb, removed,
+                            "y" if removed == 1 else "ies"))
+    if not args.dry_run:
+        print("%d bytes remain in %s"
+              % (sum(e.size for e in scan(root)), root))
+    return 0
+
+
+def cmd_clear(root, args):
+    entries = scan(root)
+    removed = sum(1 for entry in entries
+                  if _unlink(entry, "clear", args.dry_run))
+    verb = "would remove" if args.dry_run else "removed"
+    print("%s %d entr%s from %s"
+          % (verb, removed, "y" if removed == 1 else "ies", root))
+    return 0
+
+
+COMMANDS = {"ls": cmd_ls, "prune": cmd_prune, "clear": cmd_clear}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Inspect and bound the on-disk trace cache.")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="ls: list entries; prune: drop corrupt/"
+                             "stale entries and enforce --max-bytes; "
+                             "clear: drop everything")
+    parser.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="cache location (default %(default)s)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="prune: evict oldest entries until the "
+                             "cache is at most N bytes")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what prune/clear would delete "
+                             "without deleting")
+    args = parser.parse_args(argv)
+    if args.max_bytes is not None and args.command != "prune":
+        parser.error("--max-bytes applies to prune only")
+    if args.max_bytes is not None and args.max_bytes < 0:
+        parser.error("--max-bytes must be >= 0")
+    return COMMANDS[args.command](args.cache_dir, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
