@@ -53,14 +53,21 @@ class WorkloadContext:
     simulate under it, and record-fed models receive the replay's CF
     records through it.  One instance per workload, shared by every
     pass -- models are read-only during simulations.
+
+    ``derived`` is the workload's persistent
+    :class:`~repro.pipeline.derived.DerivedStore` (or ``None`` in
+    cacheless sessions): deterministic expensive results keyed by
+    their parameters, surviving across sessions.  Passes treat a
+    missing store as a permanent cache miss.
     """
 
     __slots__ = ("name", "workload", "scale", "cls_capacity",
                  "total_instructions", "detector", "index", "shared",
-                 "timing")
+                 "timing", "derived")
 
     def __init__(self, name, total_instructions, workload=None, scale=1,
-                 cls_capacity=16, detector=None, timing=None):
+                 cls_capacity=16, detector=None, timing=None,
+                 derived=None):
         self.name = name
         self.workload = workload
         self.scale = scale
@@ -70,6 +77,7 @@ class WorkloadContext:
         self.index = None
         self.shared = {}
         self.timing = timing
+        self.derived = derived
 
     def execution(self, exec_id):
         """The live execution record behind *exec_id* (complete once its

@@ -9,7 +9,9 @@ from repro.core.events import ExecutionEnd, SingleIteration
 from repro.core.loopstats import LoopStatistics
 from repro.core.speculation import simulate, simulate_infinite
 from repro.core.dataspec import DataSpeculationAnalyzer
+from repro.core.dataspec.stats import DataSpecStats
 from repro.core.tables import POLICY_LRU, TableHitRatioSimulator
+from repro.pipeline.derived import derived_key
 from repro.timing import make_timing
 
 from repro.analysis.base import Analysis
@@ -51,39 +53,51 @@ def effective_timing(ctx, timing=None):
 
 
 class LoopStatisticsPass(Analysis):
-    """Incremental Table-1 statistics, one :class:`LoopStatistics` per
-    workload.
+    """Table-1 statistics, one :class:`LoopStatistics` per workload.
 
-    Every execution record is complete when its
+    Every execution record is complete by the time its
     :class:`~repro.core.events.ExecutionEnd` (or
-    :class:`~repro.core.events.SingleIteration`) event arrives -- the
+    :class:`~repro.core.events.SingleIteration`) event exists -- the
     CLS guarantees exactly one terminating event per execution, end of
-    trace included -- so the aggregation never needs the index.
+    trace included.  The pass therefore consumes no per-event stream at
+    all: at ``finish`` it walks the terminating positions of the
+    index's event columns and observes each execution in event order.
     """
 
     def __init__(self):
         self.by_name = {}
-        self._ctx = None
         self._stats = None
 
     def begin(self, ctx):
-        self._ctx = ctx
         self._stats = LoopStatistics(ctx.name)
         self._stats.total_instructions = ctx.total_instructions
 
-    def feed(self, event):
-        etype = type(event)
-        if etype is ExecutionEnd or etype is SingleIteration:
-            self._stats.observe(self._ctx.execution(event.exec_id))
-
     def abort(self, ctx):
         self._stats = None
-        self._ctx = None
 
     def finish(self, ctx):
-        self.by_name[ctx.name] = self._stats.finalize()
+        from repro.core.detector import EV_EXEC_END, EV_SINGLE
+
+        stats = self._stats
+        index = ctx.index
+        columns = getattr(index, "columns", None)
+        if columns is not None:
+            cols = columns()
+            etypes = cols.etypes
+            exec_ids = cols.exec_ids
+            executions = index.executions
+            observe = stats.observe
+            for i in range(len(etypes)):
+                etype = etypes[i]
+                if etype == EV_EXEC_END or etype == EV_SINGLE:
+                    observe(executions[exec_ids[i]])
+        else:
+            for event in index.events:
+                etype = type(event)
+                if etype is ExecutionEnd or etype is SingleIteration:
+                    stats.observe(ctx.execution(event.exec_id))
+        self.by_name[ctx.name] = stats.finalize()
         self._stats = None
-        self._ctx = None
 
     def result(self):
         return self.by_name
@@ -131,9 +145,12 @@ def shared_table_sim(ctx, let_entries, lit_entries, policy=POLICY_LRU):
 
     Several experiments sweep the same table configuration (figure4's
     size-2/4 LRU pairs reappear in the replacement-policy ablation).
-    Exactly one pass — the one that sees ``owned=True`` — must feed the
-    simulator each loop event; every pass may read its counters at
-    ``finish``, by which point all events have been fed.
+    The simulator is *not* fed during the replay: every consumer calls
+    :meth:`~repro.core.tables.TableHitRatioSimulator.ensure_replayed`
+    on the finished ``ctx.index`` at ``finish`` and then reads the
+    counters -- the first call performs the (columnar) walk, the rest
+    are free.  ``owned`` reports whether this call created the
+    simulator, for passes that care about setup (listeners etc.).
     """
     key = (_TABLE_SIM_KEY, let_entries, lit_entries, policy)
     sim = ctx.shared.get(key)
@@ -172,10 +189,31 @@ def shared_simulate(ctx, num_tus, policy, timing=None):
         key = (_SIMULATE_KEY, num_tus, policy, timing.key())
     result = ctx.shared.get(key)
     if result is None:
-        result = simulate(ctx.index, num_tus=num_tus, policy=policy,
-                          name=ctx.name, timing=timing)
+        dkey = derived_key(*key) + "/c%d" % ctx.cls_capacity
+        result = _restore_result(ctx.derived, dkey)
+        if result is None:
+            result = simulate(ctx.index, num_tus=num_tus, policy=policy,
+                              name=ctx.name, timing=timing)
+            if ctx.derived is not None:
+                ctx.derived.put(dkey, result.state())
         ctx.shared[key] = result
     return result
+
+
+def _restore_result(derived, dkey):
+    """A :class:`SpeculationResult` from the derived store, or ``None``
+    on miss/malformed payload."""
+    if derived is None:
+        return None
+    state = derived.get(dkey)
+    if state is None:
+        return None
+    from repro.core.speculation.metrics import SpeculationResult
+
+    try:
+        return SpeculationResult.from_state(state)
+    except (KeyError, TypeError):
+        return None
 
 
 #: ``ctx.shared`` key prefix for memoized data-speculation statistics.
@@ -198,12 +236,25 @@ def shared_dataspec_stats(ctx, max_instructions):
     key = (_DATASPEC_KEY, max_instructions)
     stats = ctx.shared.get(key)
     if stats is None:
-        from repro.cpu.tracer import ChunkedFullTracer
+        dkey = derived_key(_DATASPEC_KEY, max_instructions) \
+            + "/c%d" % ctx.cls_capacity
+        if ctx.derived is not None:
+            state = ctx.derived.get(dkey)
+            if state is not None:
+                try:
+                    stats = DataSpecStats.from_state(state)
+                except (KeyError, TypeError):
+                    stats = None
+        if stats is None:
+            from repro.cpu.tracer import ChunkedFullTracer
 
-        tracer = ChunkedFullTracer(ctx.workload.program(ctx.scale),
-                                   max_instructions)
-        analyzer = DataSpeculationAnalyzer(cls_capacity=ctx.cls_capacity)
-        stats = analyzer.analyze_batches(tracer.batches(), ctx.name)
+            tracer = ChunkedFullTracer(ctx.workload.program(ctx.scale),
+                                       max_instructions)
+            analyzer = DataSpeculationAnalyzer(
+                cls_capacity=ctx.cls_capacity)
+            stats = analyzer.analyze_batches(tracer.batches(), ctx.name)
+            if ctx.derived is not None:
+                ctx.derived.put(dkey, stats.state())
         ctx.shared[key] = stats
     return stats
 

@@ -81,6 +81,33 @@ class AnalysisSuite:
         for analysis in self._event_consumers:
             analysis.feed(event)
 
+    @property
+    def has_event_consumers(self):
+        """Whether any registered pass overrides ``feed``.
+
+        Valid after :meth:`begin`.  When False, the replay loop skips
+        the per-event fan-out entirely -- with every stock pass either
+        record-fed or finish-time, the loop-event stream usually has no
+        takers.
+        """
+        return bool(self._event_consumers)
+
+    def feed_events(self, events):
+        """Fan a list of loop events out to every event consumer,
+        event-major (each event reaches every consumer before the
+        next), amortizing the dispatch over the whole list."""
+        consumers = self._event_consumers
+        if not consumers:
+            return
+        if len(consumers) == 1:
+            feed = consumers[0].feed
+            for event in events:
+                feed(event)
+            return
+        for event in events:
+            for analysis in consumers:
+                analysis.feed(event)
+
     def abort(self, ctx):
         for analysis in self._analyses:
             analysis.abort(ctx)

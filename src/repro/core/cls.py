@@ -124,10 +124,15 @@ class CurrentLoopStack:
         events were appended to, in stream order.
 
         Behaviourally identical to calling :meth:`process` per record
-        (pinned by tests); the batch loop reads the columns directly and
-        skips the common no-event cases -- calls, forward or missing
-        targets with nothing stacked -- without touching the per-rule
-        methods.  A ``target`` of ``-1`` encodes ``None``.
+        (pinned by tests): one fused scalar loop reads the columns
+        directly and skips the common no-event cases -- calls, forward
+        or missing targets with nothing stacked -- without touching
+        the per-rule methods.  The CLS is deliberately *not* kernel-
+        driven on any backend: its stack state makes per-record
+        verdicts sequential, and a vectorized candidate walk measured
+        slower than this loop (see the note in
+        :mod:`repro.trace.kernels`).  A ``target`` of ``-1`` encodes
+        ``None``.
         """
         if events is None:
             events = []

@@ -83,16 +83,43 @@ class DataSpecStats:
     def all_data(self):
         return self._ratio(self.all_data_count, self.evaluated_iterations)
 
-    def merge(self, other):
-        """Accumulate another workload's raw counters (suite averages)."""
-        for field in ("total_iterations", "mfp_iterations",
+    #: The raw counters behind every ratio, in declaration order.
+    COUNTER_FIELDS = ("total_iterations", "mfp_iterations",
                       "evaluated_iterations", "lr_total", "lr_correct",
                       "lm_total", "lm_correct", "lm_addr_total",
                       "lm_addr_correct", "all_lr_count", "all_lm_count",
-                      "all_data_count"):
+                      "all_data_count")
+
+    def merge(self, other):
+        """Accumulate another workload's raw counters (suite averages)."""
+        for field in self.COUNTER_FIELDS:
             setattr(self, field, getattr(self, field)
                     + getattr(other, field))
         return self
+
+    # -- persistence -------------------------------------------------------
+
+    def state(self):
+        """All raw counters plus the name, JSON-serializable -- the
+        exact inverse of :meth:`from_state` (every ratio above derives
+        from these)."""
+        state = {"name": self.name}
+        for field in self.COUNTER_FIELDS:
+            state[field] = getattr(self, field)
+        return state
+
+    @classmethod
+    def from_state(cls, state):
+        """Rebuild from :meth:`state` output; raises ``KeyError`` /
+        ``TypeError`` on malformed input (derived caches treat that as
+        a miss)."""
+        stats = cls(state["name"])
+        for field in cls.COUNTER_FIELDS:
+            value = state[field]
+            if not isinstance(value, int):
+                raise TypeError("non-integer counter %r" % field)
+            setattr(stats, field, value)
+        return stats
 
     def as_row(self):
         pct = lambda v: round(100.0 * v, 2)  # noqa: E731

@@ -10,6 +10,9 @@ through the :class:`~repro.core.cls.CurrentLoopStack` and produces:
   oracle for what each speculative thread would execute.
 """
 
+from array import array
+from bisect import bisect_right
+
 from repro.core.cls import CurrentLoopStack, DEFAULT_CAPACITY
 from repro.core.events import (
     ExecutionEnd,
@@ -17,6 +20,105 @@ from repro.core.events import (
     IterationStart,
     SingleIteration,
 )
+
+#: :class:`EventColumns` type codes, index-aligned with ``etypes``.
+EV_ITERATION = 0
+EV_EXEC_START = 1
+EV_EXEC_END = 2
+EV_SINGLE = 3
+
+
+class EventColumns:
+    """The loop-event list of a trace as parallel columns.
+
+    The speculation engine walks the event list once per simulated
+    configuration -- typically twenty-plus times per workload -- and
+    almost all of those visits touch only ``(type, seq, loop, exec_id)``
+    plus one type-specific field.  The columnar form serves exactly
+    that: ``etypes`` holds the ``EV_*`` code, ``auxs`` the
+    type-specific field (iteration number for iteration starts, depth
+    for execution starts and single iterations, iteration count for
+    execution ends).  ``EndReason`` stays object-only; no simulation
+    reads it.
+
+    Two derived structures make *sparse* walks possible:
+
+    * ``next_non_iteration[i]`` -- the first position ``>= i`` whose
+      event is not an :class:`~repro.core.events.IterationStart`
+      (``len(events)`` when there is none); and
+    * ``iteration_positions`` -- per ``exec_id``, the ascending
+      positions of its iteration starts
+      (:meth:`next_iteration_after` answers "this execution's next
+      iteration start after position i" by bisection).
+
+    A walker that knows nothing can happen at an iteration start (all
+    TUs busy, execution untracked) jumps straight to the next position
+    where something can.
+    """
+
+    __slots__ = ("etypes", "seqs", "loops", "exec_ids", "auxs",
+                 "next_non_iteration", "iteration_positions")
+
+    def __init__(self, events):
+        n = len(events)
+        etypes = bytearray(n)
+        seqs = array("q", bytes(8 * n))
+        loops = array("q", bytes(8 * n))
+        exec_ids = array("q", bytes(8 * n))
+        auxs = array("q", bytes(8 * n))
+        iteration_positions = {}
+        for i, event in enumerate(events):
+            etype = type(event)
+            seqs[i] = event.seq
+            loops[i] = event.loop
+            exec_ids[i] = event.exec_id
+            if etype is IterationStart:
+                # etypes[i] stays EV_ITERATION
+                auxs[i] = event.iteration
+                positions = iteration_positions.get(event.exec_id)
+                if positions is None:
+                    positions = iteration_positions[event.exec_id] = \
+                        array("q")
+                positions.append(i)
+            elif etype is ExecutionStart:
+                etypes[i] = EV_EXEC_START
+                auxs[i] = event.depth
+            elif etype is ExecutionEnd:
+                etypes[i] = EV_EXEC_END
+                auxs[i] = event.iterations
+            elif etype is SingleIteration:
+                etypes[i] = EV_SINGLE
+                auxs[i] = event.depth
+            else:
+                raise TypeError("unknown loop event type %r" % etype)
+        next_non_iteration = array("q", bytes(8 * (n + 1)))
+        nxt = n
+        next_non_iteration[n] = n
+        for i in range(n - 1, -1, -1):
+            if etypes[i] != EV_ITERATION:
+                nxt = i
+            next_non_iteration[i] = nxt
+        self.etypes = bytes(etypes)
+        self.seqs = seqs
+        self.loops = loops
+        self.exec_ids = exec_ids
+        self.auxs = auxs
+        self.next_non_iteration = next_non_iteration
+        self.iteration_positions = iteration_positions
+
+    def __len__(self):
+        return len(self.etypes)
+
+    def next_iteration_after(self, exec_id, position):
+        """The first iteration-start position of *exec_id* strictly
+        after *position*, or ``len(self)``."""
+        positions = self.iteration_positions.get(exec_id)
+        if positions is None:
+            return len(self.etypes)
+        k = bisect_right(positions, position)
+        if k == len(positions):
+            return len(self.etypes)
+        return positions[k]
 
 
 class LoopExecutionRecord:
@@ -69,6 +171,19 @@ class LoopIndex:
         self.events = events                  # ordered LoopEvent list
         self.total_instructions = total_instructions
         self.cls_capacity = cls_capacity
+        self._columns = None
+
+    def columns(self):
+        """The events as :class:`EventColumns`, built once per index.
+
+        Every simulation over this index shares one columnar copy; the
+        build is one pass over ``events`` and pays for itself the first
+        time a walker skips anything.
+        """
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = EventColumns(self.events)
+        return columns
 
     def execution(self, exec_id):
         return self.executions[exec_id]

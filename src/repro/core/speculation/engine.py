@@ -145,11 +145,14 @@ class SpeculationEngine:
             self._pos = event.seq
         etype = type(event)
         if etype is IterationStart:
-            self._on_iteration(event)
+            self._on_iteration(event.seq, event.loop, event.exec_id,
+                               event.iteration)
         elif etype is ExecutionStart:
-            self._on_execution_start(event)
+            self._on_execution_start(event.seq, event.loop,
+                                     event.exec_id)
         elif etype is ExecutionEnd:
-            self._on_execution_end(event)
+            self._on_execution_end(event.seq, event.loop, event.exec_id,
+                                   event.iterations)
         elif etype is SingleIteration:
             self._let_update(event.loop, 1)
 
@@ -168,45 +171,136 @@ class SpeculationEngine:
         return result
 
     def run(self, index, name="workload"):
-        """Simulate over a :class:`~repro.core.detector.LoopIndex`."""
+        """Simulate over a :class:`~repro.core.detector.LoopIndex`.
+
+        Uses the index's columnar event form when available (anything
+        exposing ``columns()``); the walk is then *sparse*: runs of
+        iteration starts at which provably nothing can happen -- every
+        TU busy, execution untracked, so no promotion and no spawn --
+        are jumped over wholesale, and the skipped clock advances
+        telescope into the next visited event's single
+        :meth:`~repro.timing.base.TimingModel.cycles` call (built-in
+        models price an advance as a prefix difference, so segmenting
+        the walk differently cannot change the total).  Results are
+        bit-identical to feeding every event; the equivalence tests pin
+        both paths against each other.
+        """
         self.begin(index, name)
-        feed = self.feed
-        for event in index.events:
-            feed(event)
+        columns = getattr(index, "columns", None)
+        if columns is not None:
+            self._run_columns(columns())
+        else:
+            feed = self.feed
+            for event in index.events:
+                feed(event)
         return self.finish()
+
+    def _run_columns(self, cols):
+        etypes = cols.etypes
+        seqs = cols.seqs
+        loops = cols.loops
+        exec_ids = cols.exec_ids
+        auxs = cols.auxs
+        next_non_iteration = cols.next_non_iteration
+        next_iteration_after = cols.next_iteration_after
+        n = len(etypes)
+        threads = self._threads
+        cycles = self._cycles
+        num_tus = self.num_tus
+        finite = num_tus is not None
+        # The LET is write-only when the policy never reads predictions
+        # (and the unbounded table has no LRU state to perturb); the
+        # nesting stack is only read by the STR(i) squash rule.
+        track_let = not self._skip_prediction
+        nesting_limit = self.policy.nesting_limit
+        i = 0
+        while i < n:
+            if etypes[i] == 0:                      # EV_ITERATION
+                exec_id = exec_ids[i]
+                tlist = threads.get(exec_id)
+                if tlist is None and finite \
+                        and num_tus - 1 - self._spec_count <= 0:
+                    # Nothing can happen here, nor at any following
+                    # iteration start of an untracked execution: the
+                    # TU population and the tracked set only change at
+                    # visited events.  Jump to the next position where
+                    # something can.
+                    j = next_non_iteration[i + 1]
+                    for tracked in threads:
+                        k = next_iteration_after(tracked, i)
+                        if k < j:
+                            j = k
+                    i = j
+                    continue
+                seq = seqs[i]
+                if seq > self._pos:
+                    self._now += cycles(self._pos, seq - self._pos)
+                    self._pos = seq
+                if tlist is not None \
+                        and tlist[0].iteration == auxs[i]:
+                    self._promote(tlist.pop(0), seq)
+                    if not tlist:
+                        del threads[exec_id]
+                if not finite or num_tus - 1 - self._spec_count > 0:
+                    self._spawn(seq, loops[i], exec_id, auxs[i])
+            else:
+                seq = seqs[i]
+                if seq > self._pos:
+                    self._now += cycles(self._pos, seq - self._pos)
+                    self._pos = seq
+                etype = etypes[i]
+                if etype == 1:                      # EV_EXEC_START
+                    if nesting_limit is not None:
+                        self._stack.append((exec_ids[i], loops[i]))
+                    if track_let:
+                        entry = self._let.insert(loops[i])
+                        if entry is not None and entry.payload is None:
+                            entry.payload = IterationCountPredictor()
+                    if nesting_limit is not None:
+                        self._apply_nesting_squash(nesting_limit, seq)
+                elif etype == 2:                    # EV_EXEC_END
+                    self._end_execution(seq, loops[i], exec_ids[i],
+                                        auxs[i], nesting_limit
+                                        is not None, track_let)
+                elif track_let:                     # EV_SINGLE
+                    self._let_update(loops[i], 1)
+            i += 1
 
     # -- event handlers -------------------------------------------------------
 
-    def _on_iteration(self, event):
-        exec_id = event.exec_id
+    def _on_iteration(self, seq, loop, exec_id, iteration):
         threads = self._threads.get(exec_id)
-        if threads and threads[0].iteration == event.iteration:
-            self._promote(threads.pop(0), event)
+        if threads and threads[0].iteration == iteration:
+            self._promote(threads.pop(0), seq)
             if not threads:
                 del self._threads[exec_id]
         # Hot path: skip the spawn attempt outright while every TU is
         # busy (the common case at small TU counts).
         num_tus = self.num_tus
         if num_tus is None or num_tus - 1 - self._spec_count > 0:
-            self._spawn(event)
+            self._spawn(seq, loop, exec_id, iteration)
 
-    def _on_execution_start(self, event):
-        self._stack.append((event.exec_id, event.loop))
-        entry = self._let.insert(event.loop)
+    def _on_execution_start(self, seq, loop, exec_id):
+        self._stack.append((exec_id, loop))
+        entry = self._let.insert(loop)
         if entry is not None and entry.payload is None:
             entry.payload = IterationCountPredictor()
         limit = self.policy.nesting_limit
         if limit is not None:
-            self._apply_nesting_squash(limit, event.seq)
+            self._apply_nesting_squash(limit, seq)
 
-    def _on_execution_end(self, event):
-        threads = self._threads.pop(event.exec_id, None)
+    def _on_execution_end(self, seq, loop, exec_id, iterations):
+        self._end_execution(seq, loop, exec_id, iterations, True, True)
+
+    def _end_execution(self, seq, loop, exec_id, iterations,
+                       track_stack, track_let):
+        threads = self._threads.pop(exec_id, None)
         if threads:
             result = self._result
             for thread in threads:
                 result.squashed_misspec += 1
                 result.resolved += 1
-                result.instr_to_verif_total += event.seq - thread.spawn_seq
+                result.instr_to_verif_total += seq - thread.spawn_seq
                 if self.disable_table is not None:
                     self.disable_table.note(thread.loop, correct=False)
             self._spec_count -= len(threads)
@@ -214,15 +308,17 @@ class SpeculationEngine:
             if cost:
                 self._now += cost
                 self._overhead += cost
-        for idx in range(len(self._stack) - 1, -1, -1):
-            if self._stack[idx][0] == event.exec_id:
-                del self._stack[idx]
-                break
-        self._let_update(event.loop, event.iterations)
+        if track_stack:
+            for idx in range(len(self._stack) - 1, -1, -1):
+                if self._stack[idx][0] == exec_id:
+                    del self._stack[idx]
+                    break
+        if track_let:
+            self._let_update(loop, iterations)
 
     # -- speculation mechanics -----------------------------------------------
 
-    def _promote(self, thread, event):
+    def _promote(self, thread, seq):
         """The speculated iteration is confirmed: its TU becomes the new
         non-speculative thread at wherever it has executed to."""
         self._spec_count -= 1
@@ -239,7 +335,7 @@ class SpeculationEngine:
         result = self._result
         result.promoted += 1
         result.resolved += 1
-        result.instr_to_verif_total += event.seq - thread.spawn_seq
+        result.instr_to_verif_total += seq - thread.spawn_seq
         result.credit_waiting += elapsed
         result.credit_executing += self._cycles(thread.start_seq,
                                                 executed)
@@ -250,23 +346,22 @@ class SpeculationEngine:
             self._now += cost
             self._overhead += cost
 
-    def _spawn(self, event):
+    def _spawn(self, seq, loop, exec_id, iteration):
         num_tus = self.num_tus
         idle = float("inf") if num_tus is None \
             else num_tus - 1 - self._spec_count
         if idle <= 0:
             return
         if self.disable_table is not None \
-                and self.disable_table.blocked(event.loop):
+                and self.disable_table.blocked(loop):
             return
-        exec_id = event.exec_id
         rec = self._executions[exec_id]
         total_iterations = rec.iterations \
             if rec.iterations is not None \
             else len(rec.iter_seqs) + 1
         iter_seqs = rec.iter_seqs
         threads = self._threads.get(exec_id)
-        last_covered = threads[-1].iteration if threads else event.iteration
+        last_covered = threads[-1].iteration if threads else iteration
         # Iterations whose start the non-speculative position has already
         # passed (after a long promotion jump) are covered, not spawnable.
         while last_covered < total_iterations \
@@ -274,9 +369,9 @@ class SpeculationEngine:
             last_covered += 1
 
         prediction = (None, None) if self._skip_prediction \
-            else self._let_prediction(event.loop)
+            else self._let_prediction(loop)
         count = self.policy.spawn_count_fast(
-            idle, event.iteration, last_covered, prediction,
+            idle, iteration, last_covered, prediction,
             total_iterations)
         if count > idle:
             count = idle
@@ -305,8 +400,8 @@ class SpeculationEngine:
             else:
                 start = None
                 end = None
-            threads.append(SpecThread(event.loop, exec_id, j, start, end,
-                                      self._now, event.seq))
+            threads.append(SpecThread(loop, exec_id, j, start, end,
+                                      self._now, seq))
             self._spec_count += 1
             result.threads_spawned += 1
 

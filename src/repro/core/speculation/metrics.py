@@ -124,6 +124,31 @@ class SpeculationResult:
             "tpc_executing": self.tpc_executing,
         }
 
+    # -- persistence -------------------------------------------------------
+
+    def state(self):
+        """Every stored field as a JSON-serializable dict -- the exact
+        inverse of :meth:`from_state` (all fields are ints or strings;
+        the derived metrics above are recomputed on restore)."""
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    @classmethod
+    def from_state(cls, state):
+        """Rebuild a result from :meth:`state` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed input (derived
+        caches treat that as a miss).
+        """
+        result = cls(state["name"], state["num_tus"],
+                     state["policy_name"])
+        for field in cls.__slots__:
+            value = state[field]
+            if field not in ("name", "num_tus", "policy_name",
+                             "timing_name") and not isinstance(value, int):
+                raise TypeError("non-integer counter %r" % field)
+            setattr(result, field, value)
+        return result
+
     def __repr__(self):
         return ("SpeculationResult(%s, %s TUs, %s: tpc=%.2f, hit=%.1f%%)"
                 % (self.name, self.num_tus, self.policy_name, self.tpc,

@@ -145,8 +145,10 @@ class TableHitRatioSimulator:
     start, the loop is present with >= 2 iterations completed since
     insertion.  First iterations are never tested (they are undetected
     until they finish).  Fully incremental: usable as a detector
-    listener, fed one event at a time (:meth:`feed`), or replayed over
-    a stored event list via :meth:`replay`.
+    listener, fed one event at a time (:meth:`feed`), replayed over a
+    stored event list via :meth:`replay`, or -- the batch pipeline's
+    way -- replayed once over a finished loop index via
+    :meth:`ensure_replayed`.
     """
 
     def __init__(self, let_entries, lit_entries, policy=POLICY_LRU):
@@ -159,6 +161,7 @@ class TableHitRatioSimulator:
         self.let_accesses = 0
         self.lit_hits = 0
         self.lit_accesses = 0
+        self._replayed = False
 
     # -- event plumbing -----------------------------------------------------
 
@@ -166,6 +169,115 @@ class TableHitRatioSimulator:
         on_event = self.on_event
         for event in events:
             on_event(event)
+        return self
+
+    def ensure_replayed(self, index):
+        """Replay *index* exactly once, however many passes ask.
+
+        Simulators are shared across analysis passes (``ctx.shared``);
+        with the replay deferred to ``finish`` there is no single
+        "owner" any more -- every consumer calls this before reading
+        the counters, and only the first call pays for the walk.
+        """
+        if self._replayed:
+            return self
+        self._replayed = True
+        columns = getattr(index, "columns", None)
+        if columns is not None:
+            return self.replay_columns(columns())
+        return self.replay(index.events)
+
+    def replay_columns(self, cols):
+        """:meth:`replay` over a
+        :class:`~repro.core.detector.EventColumns` -- identical counter
+        and table state, with the per-event dispatch and table helpers
+        inlined into one loop over the type-code column."""
+        from repro.core.detector import (
+            EV_EXEC_END,
+            EV_EXEC_START,
+            EV_ITERATION,
+            EV_SINGLE,
+        )
+
+        etypes = cols.etypes
+        loops = cols.loops
+        exec_ids = cols.exec_ids
+        auxs = cols.auxs
+        nesting = self._nesting
+        let = self.let
+        lit = self.lit
+        let_entries = let._entries
+        lit_entries = lit._entries
+        let_hits = self.let_hits
+        let_accesses = self.let_accesses
+        lit_hits = self.lit_hits
+        lit_accesses = self.lit_accesses
+        for i in range(len(etypes)):
+            etype = etypes[i]
+            loop = loops[i]
+            if etype == EV_ITERATION:
+                if auxs[i] > 2:
+                    entry = lit_entries.get(loop)
+                    if entry is not None:
+                        entry.completed += 1
+                lit_accesses += 1
+                entry = lit_entries.get(loop)
+                if entry is not None:
+                    lit_entries.move_to_end(loop)
+                    if entry.completed >= 2:
+                        lit_hits += 1
+            elif etype == EV_EXEC_START:
+                if nesting is not None:
+                    nested_in = nesting.nested_in
+                    for _, outer in nesting._active:
+                        nested_in.setdefault(outer, set()).add(loop)
+                    nesting._active.append((exec_ids[i], loop))
+                    nested = nested_in.get(loop, ())
+                else:
+                    nested = None
+                let_accesses += 1
+                entry = let_entries.get(loop)
+                if entry is not None:
+                    let_entries.move_to_end(loop)
+                    if entry.completed >= 2:
+                        let_hits += 1
+                let.insert(loop, nested)
+                lit.insert(loop, nested)
+            elif etype == EV_EXEC_END:
+                if nesting is not None:
+                    active = nesting._active
+                    exec_id = exec_ids[i]
+                    for k in range(len(active) - 1, -1, -1):
+                        if active[k][0] == exec_id:
+                            del active[k]
+                            break
+                entry = lit_entries.get(loop)
+                if entry is not None:
+                    entry.completed += 1
+                entry = let_entries.get(loop)
+                if entry is not None:
+                    entry.completed += 1
+            else:                   # EV_SINGLE
+                nested = nesting.nested_in.get(loop, ()) \
+                    if nesting is not None else None
+                let_accesses += 1
+                entry = let_entries.get(loop)
+                if entry is not None:
+                    let_entries.move_to_end(loop)
+                    if entry.completed >= 2:
+                        let_hits += 1
+                let.insert(loop, nested)
+                lit.insert(loop, nested)
+                entry = lit_entries.get(loop)
+                if entry is not None:
+                    entry.completed += 1
+                entry = let_entries.get(loop)
+                if entry is not None:
+                    entry.completed += 1
+        self.let_hits = let_hits
+        self.let_accesses = let_accesses
+        self.lit_hits = lit_hits
+        self.lit_accesses = lit_accesses
         return self
 
     def on_event(self, event):

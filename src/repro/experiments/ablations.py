@@ -8,10 +8,11 @@
 3. **CLS capacity** (section 2.2): how small a CLS starts dropping
    live loops (the paper argues 16 entries never overflow on SPEC95).
 
-All three ride the shared replay: the replacement sweep feeds one
-table-simulator pair per (size, policy) with each loop event, and the
-CLS sweep feeds one detector per capacity with each record -- no
-per-ablation re-replays.
+All three ride the shared replay: the replacement sweep replays one
+table-simulator pair per (size, policy) over the finished loop index
+(a columnar walk, shared with figure4), and the CLS sweep feeds one
+detector per capacity with each record batch -- no per-ablation trace
+re-replays.
 """
 
 from repro.analysis import Analysis, register_analysis, \
@@ -54,35 +55,48 @@ class AblationsAnalysis(Analysis):
         # CLS sweep: capacity -> [overflow drops, executions]
         self._cls = {capacity: [0, 0] for capacity in capacities}
         self._sims = None
-        self._owned = ()
         self._stacks = None
         self._stack_list = ()
+        self._cls_cached = {}
 
     def begin(self, ctx):
         if "replacement" in self.parts:
             # Table simulators are shared per configuration across the
-            # suite (figure4 sweeps the same LRU sizes); only the
-            # owning pass feeds each one.
+            # suite (figure4 sweeps the same LRU sizes); each replays
+            # the finished index once, at the first consumer's finish.
             self._sims = {}
-            owned = []
             for size, policy in self._replacement:
-                sim, own = shared_table_sim(ctx, size, size, policy)
+                sim, _ = shared_table_sim(ctx, size, size, policy)
                 self._sims[(size, policy)] = sim
-                if own:
-                    owned.append(sim)
-            self._owned = tuple(owned)
         if "cls" in self.parts:
             # The sweep only asks how often each CLS size drops a live
             # loop, so it feeds bare CurrentLoopStacks (no event list,
             # no execution records) and counts execution starts.  The
             # entry matching the session's own capacity is exactly the
-            # canonical detector; it is read from the context at finish.
+            # canonical detector; it is read from the context at
+            # finish.  Counts already in the derived store skip their
+            # stack's record walk entirely.
             self._canonical_capacity = ctx.cls_capacity
+            self._cls_cached = {}
+            if ctx.derived is not None:
+                for capacity in self.capacities:
+                    if capacity == self._canonical_capacity:
+                        continue
+                    counts = ctx.derived.get(self._cls_key(capacity))
+                    if (isinstance(counts, list) and len(counts) == 2
+                            and all(isinstance(c, int)
+                                    for c in counts)):
+                        self._cls_cached[capacity] = counts
             self._stacks = {
                 capacity: [CurrentLoopStack(capacity=capacity), 0]
                 for capacity in self.capacities
-                if capacity != self._canonical_capacity}
+                if capacity != self._canonical_capacity
+                and capacity not in self._cls_cached}
             self._stack_list = tuple(self._stacks.values())
+
+    @staticmethod
+    def _cls_key(capacity):
+        return "cls-sweep/cap%d" % capacity
 
     def feed_record(self, record):
         seq = record.seq
@@ -110,19 +124,16 @@ class AblationsAnalysis(Analysis):
                     if type(event) is ExecutionStart
                     or type(event) is SingleIteration)
 
-    def feed(self, event):
-        for sim in self._owned:
-            sim.on_event(event)
-
     def abort(self, ctx):
         self._sims = None
-        self._owned = ()
         self._stacks = None
         self._stack_list = ()
+        self._cls_cached = {}
 
     def finish(self, ctx):
         if "replacement" in self.parts:
             for key, sim in self._sims.items():
+                sim.ensure_replayed(ctx.index)
                 totals = self._replacement[key]
                 totals[0] += sim.let_hits
                 totals[1] += sim.let_accesses
@@ -138,11 +149,17 @@ class AblationsAnalysis(Analysis):
         if "cls" in self.parts:
             for capacity in self.capacities:
                 entry = self._stacks.get(capacity)
+                cached = self._cls_cached.get(capacity)
                 if entry is not None:
                     # flush() emits only ExecutionEnds: neither count
                     # moves.
                     overflowed = entry[0].overflow_count
                     executions = entry[1]
+                    if ctx.derived is not None:
+                        ctx.derived.put(self._cls_key(capacity),
+                                        [overflowed, executions])
+                elif cached is not None:
+                    overflowed, executions = cached
                 else:
                     overflowed = ctx.detector.cls.overflow_count
                     executions = len(ctx.index.executions)
@@ -150,9 +167,9 @@ class AblationsAnalysis(Analysis):
                 totals[0] += overflowed
                 totals[1] += executions
         self._sims = None
-        self._owned = ()
         self._stacks = None
         self._stack_list = ()
+        self._cls_cached = {}
 
     # -- the three tables ---------------------------------------------------
 

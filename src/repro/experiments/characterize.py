@@ -82,13 +82,10 @@ class CharacterizeAnalysis(Analysis):
         self.by_name = {}
         self._timing = TimingMeta()
 
-    # Incremental part: Table-1 statistics ride the event stream.
+    # Table-1 statistics aggregate at finish from the index's columns.
 
     def begin(self, ctx):
         self._stats.begin(ctx)
-
-    def feed(self, event):
-        self._stats.feed(event)
 
     def abort(self, ctx):
         self._stats.abort(ctx)

@@ -27,26 +27,19 @@ class Figure4Analysis(Analysis):
     def begin(self, ctx):
         # Simulators are shared per (size, size, LRU) across the suite
         # (the replacement ablation sweeps the same configurations);
-        # only the owning pass feeds each one.
+        # each is replayed over the finished index exactly once, at the
+        # first consumer's finish (TableHitRatioSimulator.ensure_replayed).
         self._sims = {}
-        owned = []
         for size in self.table_sizes:
-            sim, own = shared_table_sim(ctx, size, size)
+            sim, _ = shared_table_sim(ctx, size, size)
             self._sims[size] = sim
-            if own:
-                owned.append(sim)
-        self._owned = tuple(owned)
-
-    def feed(self, event):
-        for sim in self._owned:
-            sim.on_event(event)
 
     def abort(self, ctx):
         self._sims = None
-        self._owned = ()
 
     def finish(self, ctx):
         for size, sim in self._sims.items():
+            sim.ensure_replayed(ctx.index)
             totals = self._totals[size]
             totals[0] += sim.let_hits
             totals[1] += sim.let_accesses

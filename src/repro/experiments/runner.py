@@ -24,6 +24,7 @@ Usage::
     python -m repro.experiments.runner figure6 --timing overhead:spawn=8
     python -m repro.experiments.runner sensitivity \
         --spawn-cost 0,2,8,32 --tus 2,4,8,16
+    python -m repro.experiments.runner all --profile-run 30
 
 ``--timing name[:k=v,...]`` selects the timing model speculation
 experiments simulate under (see ``--list`` and docs/TIMING.md; default:
@@ -350,6 +351,11 @@ def main(argv=None):
                         help="on-disk trace cache (default %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk trace cache")
+    parser.add_argument("--profile-run", type=int, nargs="?", const=25,
+                        default=None, metavar="N",
+                        help="run the analysis under cProfile and "
+                             "print the top N functions by cumulative "
+                             "time after the results (default N: 25)")
     parser.add_argument("--format", choices=("text", "csv", "json"),
                         default="text",
                         help="result rendering (default text)")
@@ -406,13 +412,24 @@ def main(argv=None):
     if args.output_dir is not None:
         os.makedirs(args.output_dir, exist_ok=True)
 
+    if args.profile_run is not None and args.profile_run < 1:
+        parser.error("--profile-run expects a positive line count")
+
     session = SimulationSession(config)
     try:
         suite, _ = build_suite(selected, overrides)
     except ValueError as exc:
         parser.error(str(exc))
+    profiler = None
+    if args.profile_run is not None:
+        import cProfile
+        profiler = cProfile.Profile()
     start = time.time()
+    if profiler is not None:
+        profiler.enable()
     all_results = session.analyze(suite)
+    if profiler is not None:
+        profiler.disable()
     analyze_seconds = time.time() - start
     for name, results in zip(selected, all_results):
         if not isinstance(results, list):
@@ -425,6 +442,16 @@ def main(argv=None):
     print("[%d experiment(s), %d workload(s), %d replay(s), analyzed "
           "in %.1fs]" % (len(selected), len(session.workloads),
                          session.stats.replays, analyze_seconds))
+    if profiler is not None:
+        # Caveat: cProfile's tracing overhead inflates tight Python
+        # loops severalfold; read this as "where the time goes", not
+        # as absolute wall time.
+        import pstats
+        print()
+        print("[cProfile: top %d by cumulative time]" % args.profile_run)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative")
+        stats.print_stats(args.profile_run)
     return 0
 
 

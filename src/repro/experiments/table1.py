@@ -2,10 +2,10 @@
 
 Columns follow the paper: dynamic instructions, static loops, average
 iterations per execution, average instructions per iteration, and
-average/maximum nesting level.  Implemented as a streaming
-:class:`~repro.analysis.base.Analysis`: statistics accumulate as each
-loop execution's end event arrives, one suite-shared replay per
-workload.
+average/maximum nesting level.  Implemented over
+:class:`~repro.analysis.passes.LoopStatisticsPass`: statistics are
+aggregated at ``finish`` from the completed loop index's event
+columns, one suite-shared replay per workload.
 """
 
 from repro.analysis import Analysis, register_analysis
@@ -16,8 +16,8 @@ from repro.experiments.report import ExperimentResult
 
 @register_analysis("table1")
 class Table1Analysis(Analysis):
-    """Thin declarative wrapper: one incremental loop-statistics pass,
-    rendered in the paper's Table 1 shape."""
+    """Thin declarative wrapper: one loop-statistics pass, rendered in
+    the paper's Table 1 shape."""
 
     def __init__(self):
         self._stats = LoopStatisticsPass()
@@ -27,9 +27,6 @@ class Table1Analysis(Analysis):
     def begin(self, ctx):
         self._scale = ctx.scale
         self._stats.begin(ctx)
-
-    def feed(self, event):
-        self._stats.feed(event)
 
     def abort(self, ctx):
         self._stats.abort(ctx)

@@ -30,9 +30,9 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.core.detector import LoopDetector
 from repro.pipeline import worker
 from repro.pipeline.cache import TraceCache, program_fingerprint
+from repro.pipeline.derived import DerivedCache
 from repro.pipeline.config import PipelineConfig
 from repro.trace.batch import iter_batches
-from repro.trace.io import loads_cf_trace
 from repro.workloads import get, suite
 
 
@@ -106,6 +106,8 @@ class SimulationSession:
         self._fingerprints = {}
         self._cache = (TraceCache(config.cache_dir)
                        if config.cache_dir is not None else None)
+        self._derived = (DerivedCache(config.cache_dir)
+                         if config.cache_dir is not None else None)
         self._traces = {}
         self._indexes = {}
         self._sources = {}   # name -> "cache" | "traced", first touch
@@ -242,10 +244,16 @@ class SimulationSession:
         # shared across workloads (or survive an abort/retry).
         timing = (make_timing(self.config.timing)
                   if self.config.timing is not None else None)
+        derived = None
+        if self._derived is not None:
+            derived = self._derived.store(TraceCache.key(
+                workload.name, self.scale,
+                self.config.limit_for(workload),
+                self._fingerprint(workload.name)))
         return WorkloadContext(
             workload.name, total, workload=workload, scale=self.scale,
             cls_capacity=self.config.cls_capacity, detector=detector,
-            timing=timing)
+            timing=timing, derived=derived)
 
     def _replay(self, workload, suite, batches, total):
         """One full batched record-stream replay into *suite*; returns
@@ -267,20 +275,35 @@ class SimulationSession:
         timing_feed = (timing.feed_batch
                        if timing is not None and timing.wants_records
                        else None)
-        feed = suite.feed
         feed_batch = suite.feed_batch
         detect_batch = detector.feed_batch
+        # Loop events only fan out when some pass actually overrides
+        # feed(); with every stock pass record-fed or finish-time, the
+        # event stream has no takers and the replay is record-only.
+        feed_events = None
+        if getattr(suite, "has_event_consumers", True):
+            feed_events = getattr(suite, "feed_events", None)
+            if feed_events is None:       # suite-shaped duck type
+                suite_feed = suite.feed
+
+                def feed_events(events):
+                    for event in events:
+                        suite_feed(event)
         for batch in batches:
             if wants_records:
                 feed_batch(batch)
             if timing_feed is not None:
                 timing_feed(batch)
-            for event in detect_batch(batch):
-                feed(event)
-        for event in detector.finish(total):
-            feed(event)
+            events = detect_batch(batch)
+            if events and feed_events is not None:
+                feed_events(events)
+        events = detector.finish(total)
+        if events and feed_events is not None:
+            feed_events(events)
         ctx.index = detector.index(total)
         suite.finish(ctx)
+        if ctx.derived is not None:
+            ctx.derived.flush()
         return ctx.index
 
     # -- pipeline ------------------------------------------------------------
@@ -318,7 +341,7 @@ class SimulationSession:
                                     len(pooled))) as pool:
                 futures = [
                     pool.submit(worker.trace_workload, name, self.scale,
-                                limit, cache_dir)
+                                limit, cache_dir, shared=True)
                     for name, limit in pooled]
                 for future in futures:
                     name, payload = future.result()
@@ -330,7 +353,10 @@ class SimulationSession:
                 self._mark(name, cached=False)
                 payload = results[name]
                 if payload is not None:
-                    self._traces[name] = loads_cf_trace(payload)
+                    # Cacheless pool results arrive through a shared-
+                    # memory segment (or raw v3 bytes as the fallback).
+                    self._traces[name] = \
+                        worker.load_trace_payload(payload)
                 # else: the worker streamed it into the cache; load
                 # lazily (index() streams it straight off disk).
             else:

@@ -11,19 +11,41 @@ method a fresh interpreter imports this module and nothing else.
 Pooled callers pass the workload *name* (resolved through the registry
 in the child) and get the trace via the cache — batches streamed to
 disk as columnar v3 chunks, nothing shipped over the result pipe — or,
-without a cache, as serialized v3 bytes.  Inline callers pass the
-Workload object itself (which also supports unregistered workloads)
-with ``materialize=True`` and get the in-memory :class:`CFTrace`
-directly, with no disk round-trip.
+without a cache, as serialized v3 bytes.  With ``shared=True`` those
+bytes travel through a :mod:`multiprocessing.shared_memory` segment
+instead of being pickled over the pipe: the child ships only a tiny
+:class:`SharedTracePayload` descriptor, and the parent attaches, parses
+the segment zero-copy, and unlinks it (see
+:func:`load_trace_payload`).  Inline callers pass the Workload object
+itself (which also supports unregistered workloads) with
+``materialize=True`` and get the in-memory :class:`CFTrace` directly,
+with no disk round-trip.
 """
+
+from typing import NamedTuple
 
 from repro.cpu.tracer import ChunkedCFTracer
 from repro.pipeline.cache import TraceCache, program_fingerprint
-from repro.trace.io import TRACE_FORMAT_VERSION, dumps_cf_trace
+from repro.trace.io import TRACE_FORMAT_VERSION, dumps_cf_trace, \
+    loads_cf_trace
+
+
+class SharedTracePayload(NamedTuple):
+    """Descriptor for a trace shipped via a shared-memory segment.
+
+    The child serializes the trace (v3 bytes) into the segment and
+    detaches; only this descriptor crosses the result pipe.  The
+    **parent owns the segment's lifetime** from that point: it must
+    attach, read, close, and unlink (all of which
+    :func:`load_trace_payload` does).
+    """
+
+    segment: str    #: ``SharedMemory`` name to attach to
+    size: int       #: serialized trace length (segments round up)
 
 
 def trace_workload(workload, scale=1, max_instructions=None,
-                   cache_dir=None, materialize=False):
+                   cache_dir=None, materialize=False, shared=False):
     """Trace one workload (a registered name or a Workload object).
 
     Returns ``(name, payload)`` where *payload* is:
@@ -31,6 +53,9 @@ def trace_workload(workload, scale=1, max_instructions=None,
     * the :class:`CFTrace` itself when ``materialize=True``;
     * ``None`` when the trace was written to (or already present in)
       the cache;
+    * with ``shared=True``, a :class:`SharedTracePayload` descriptor
+      for a shared-memory segment holding the serialized v3 trace
+      (falling back to plain bytes when no segment can be created);
     * otherwise the serialized v3 trace bytes.
 
     ``max_instructions=None`` uses the workload's default budget,
@@ -58,4 +83,68 @@ def trace_workload(workload, scale=1, max_instructions=None,
     trace = workload.cf_trace(scale, limit)
     if materialize:
         return name, trace
-    return name, dumps_cf_trace(trace, version=TRACE_FORMAT_VERSION)
+    data = dumps_cf_trace(trace, version=TRACE_FORMAT_VERSION)
+    if shared:
+        descriptor = _ship_shared(data)
+        if descriptor is not None:
+            return name, descriptor
+    return name, data
+
+
+def _ship_shared(data):
+    """Move *data* into a fresh shared-memory segment and return its
+    :class:`SharedTracePayload`, or ``None`` when shared memory is
+    unavailable (no ``/dev/shm``, permissions) -- the caller then ships
+    plain bytes."""
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=max(1, len(data)))
+    except (ImportError, OSError):
+        return None
+    try:
+        segment.buf[:len(data)] = data
+        descriptor = SharedTracePayload(segment.name, len(data))
+    except BaseException:
+        segment.close()
+        try:
+            segment.unlink()
+        except OSError:
+            pass
+        raise
+    # Ownership transfers to the parent with the descriptor: stop this
+    # process's resource tracker from "cleaning up" (unlinking, with a
+    # leak warning at exit) a segment that is deliberately left for
+    # the parent to unlink.
+    try:
+        resource_tracker.unregister(
+            getattr(segment, "_name", segment.name), "shared_memory")
+    except Exception:
+        pass
+    segment.close()
+    return descriptor
+
+
+def load_trace_payload(payload):
+    """Decode a non-``materialize`` worker *payload* into a
+    :class:`CFTrace`.
+
+    Serialized bytes parse directly; a :class:`SharedTracePayload` is
+    attached, parsed zero-copy out of the segment, and the segment is
+    closed and unlinked here -- exactly once, in the parent.
+    """
+    if isinstance(payload, SharedTracePayload):
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(name=payload.segment)
+        try:
+            return loads_cf_trace(segment.buf[:payload.size])
+        finally:
+            try:
+                segment.close()
+            except BufferError:
+                pass    # a live view pins the mapping; GC closes it
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+    return loads_cf_trace(payload)

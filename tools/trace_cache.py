@@ -11,7 +11,8 @@ inspectable and bounded::
     python tools/trace_cache.py clear
 
 ``ls`` prints one row per entry with its format version, record count,
-total instructions and size.  ``prune`` deletes corrupt entries and
+total instructions, compressed (on-disk) and uncompressed (decoded
+column bytes) sizes, and the compression ratio.  ``prune`` deletes corrupt entries and
 entries from other format versions (both unreadable by the current
 pipeline), then -- if ``--max-bytes`` is given -- the oldest remaining
 entries until the cache fits the budget.  ``clear`` deletes every
@@ -65,6 +66,22 @@ class Entry:
             return "stale"
         return "ok"
 
+    @property
+    def raw_bytes(self):
+        """Decoded size: 26 column bytes per record for v3 (8+8+1+1+8);
+        unknown for text formats and unreadable entries."""
+        if self.version != 3 or self.records is None:
+            return None
+        return self.records * 26
+
+    @property
+    def ratio(self):
+        """On-disk bytes per decoded byte (lower is better)."""
+        raw = self.raw_bytes
+        if not raw:
+            return None
+        return self.size / raw
+
 
 def scan(root):
     """Every ``*.cft`` entry under *root*, oldest first."""
@@ -89,14 +106,24 @@ def cmd_ls(root, _args):
     rows = [(e.name, "v%s" % (e.version if e.version is not None
                               else "?"),
              _fmt_count(e.records), _fmt_count(e.total), e.size,
+             _fmt_count(e.raw_bytes),
+             "?" if e.ratio is None else "%.3f" % e.ratio,
              e.status)
             for e in sorted(entries, key=lambda e: e.name)]
     print(format_table(
-        ("entry", "fmt", "records", "instructions", "bytes", "status"),
+        ("entry", "fmt", "records", "instructions", "compressed",
+         "uncompressed", "ratio", "status"),
         rows, title="trace cache %s" % root))
     total = sum(e.size for e in entries)
-    print("%d entr%s, %d bytes total"
-          % (len(entries), "y" if len(entries) == 1 else "ies", total))
+    raw_total = sum(e.raw_bytes for e in entries
+                    if e.raw_bytes is not None)
+    summary = ("%d entr%s, %d bytes on disk"
+               % (len(entries), "y" if len(entries) == 1 else "ies",
+                  total))
+    if raw_total:
+        summary += (", %d decoded (ratio %.3f)"
+                    % (raw_total, total / raw_total))
+    print(summary)
     return 0
 
 
