@@ -1,0 +1,117 @@
+"""Sweep-farm throughput: cold vs warm store, inline vs sharded pool.
+
+The sweep subsystem trades per-cell sqlite checkpoints and process-pool
+sharding for resumability; this benchmark quantifies both sides.  On a
+fixed sensitivity grid it times
+
+* a **cold** run into an empty store (every cell computed),
+* a **warm** resubmission of the same grid (resume planning only --
+  the "executed 0 cells" path),
+* a cold run **sharded** across worker processes (``--jobs``),
+
+and writes cells/second plus the resume overhead to
+``BENCH_sweep.json`` at the repository root (override with
+``--output``).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        --workloads swim,go --jobs 4
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.sweep import SweepSpec, SweepStore, run_sweep
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_WORKLOADS = ("swim", "tomcatv", "go", "compress", "li", "perl")
+
+
+def timed_run(spec, root, jobs, cache_dir):
+    start = time.perf_counter()
+    with SweepStore(root) as store:
+        stats = run_sweep(spec, store, jobs=jobs, cache_dir=cache_dir)
+    return time.perf_counter() - start, stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark sweep orchestration throughput.")
+    parser.add_argument("--workloads",
+                        default=",".join(DEFAULT_WORKLOADS),
+                        metavar="A,B,...")
+    parser.add_argument("--max-instructions", type=int, default=200000,
+                        help="per-workload instruction budget "
+                             "(default %(default)s)")
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="pool width of the sharded run "
+                             "(default %(default)s)")
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_sweep.json"),
+                        help="result file (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    spec = SweepSpec(
+        experiment="sensitivity",
+        workloads=tuple(w.strip() for w in args.workloads.split(",")
+                        if w.strip()),
+        max_instructions=args.max_instructions,
+        spawn_costs=(0, 8), tu_counts=(2, 4, 8))
+
+    scratch = tempfile.mkdtemp(prefix="bench-sweep-")
+    try:
+        # cache_dir=None throughout: every run pays trace + index +
+        # simulate per workload, so cold/pool numbers stay comparable
+        # (a derived cache would turn rerun cells into restores).
+        cold_s, cold = timed_run(spec, os.path.join(scratch, "inline"),
+                                 1, None)
+        warm_s, warm = timed_run(spec, os.path.join(scratch, "inline"),
+                                 1, None)
+        pool_s, pool = timed_run(spec, os.path.join(scratch, "pool"),
+                                 args.jobs, None)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    assert warm.executed == 0, "resume planning recomputed cells"
+    results = {
+        "benchmark": "sensitivity sweep: cold vs resume vs sharded "
+                     "pool, uncached",
+        "workloads": list(spec.workloads),
+        "max_instructions": args.max_instructions,
+        "cells": cold.planned,
+        "jobs": args.jobs,
+        "cold": {
+            "seconds": round(cold_s, 3),
+            "cells_per_second": round(cold.executed / cold_s, 1)
+            if cold_s else 0.0,
+        },
+        "resume_noop": {
+            "seconds": round(warm_s, 3),
+            "executed": warm.executed,
+        },
+        "pool": {
+            "seconds": round(pool_s, 3),
+            "cells_per_second": round(pool.executed / pool_s, 1)
+            if pool_s else 0.0,
+            "speedup_vs_inline": round(cold_s / pool_s, 2)
+            if pool_s else 0.0,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,40 @@ class LoopStatistics:
             return 0.0
         return self.nesting_sum / self.executions
 
+    # -- persistence -------------------------------------------------------
+
+    #: Scalar counters persisted by :meth:`state` (``observed_loops``
+    #: is folded into ``static_loops`` by :meth:`finalize` first).
+    STATE_FIELDS = ("name", "total_instructions", "static_loops",
+                    "executions", "iterations", "measured_iterations",
+                    "measured_iteration_instructions", "nesting_sum",
+                    "max_nesting", "single_iteration_executions",
+                    "overflow_drops")
+
+    def state(self):
+        """Every counter as a JSON-serializable dict -- the exact
+        inverse of :meth:`from_state`.  Call :meth:`finalize` first:
+        the loop-identity set itself is not persisted, only its size."""
+        return {field: getattr(self, field)
+                for field in self.STATE_FIELDS}
+
+    @classmethod
+    def from_state(cls, state):
+        """Rebuild finalized statistics from :meth:`state` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed input (derived
+        caches treat that as a miss).  The restored object is
+        finalized: ``observed_loops`` is empty and ``static_loops`` is
+        authoritative.
+        """
+        stats = cls(state["name"])
+        for field in cls.STATE_FIELDS:
+            value = state[field]
+            if field != "name" and not isinstance(value, int):
+                raise TypeError("non-integer counter %r" % field)
+            setattr(stats, field, value)
+        return stats
+
     def as_row(self):
         """Row in the column order of the paper's Table 1."""
         return (self.name, self.total_instructions, self.static_loops,

@@ -65,42 +65,35 @@ def summarize(samples):
     )
 
 
-@register_analysis("characterize")
-class CharacterizeAnalysis(Analysis):
-    """Per-workload characterization + cross-workload distributions.
+class CharacterizeTables:
+    """Accumulates per-workload characterizations into the two report
+    tables.
 
-    Returns a *list* of two :class:`ExperimentResult` tables: the
-    per-workload sweep and the distribution summary.
+    One fold per workload (:meth:`add_workload`), then
+    :meth:`results`.  The direct :class:`CharacterizeAnalysis` and the
+    sweep store's query layer (:mod:`repro.sweep.query`) both render
+    through this builder, which is what keeps a store-backed report
+    byte-identical to the direct ``runner characterize`` output.
     """
 
     def __init__(self, policies=POLICIES, num_tus=NUM_TUS):
         self.policies = tuple(policies)
         self.num_tus = num_tus
-        self._stats = LoopStatisticsPass()
         self._rows = []
         self._samples = {}      # metric label -> [value per workload]
         self.by_name = {}
         self._timing = TimingMeta()
 
-    # Table-1 statistics aggregate at finish from the index's columns.
-
-    def begin(self, ctx):
-        self._stats.begin(ctx)
-
-    def abort(self, ctx):
-        self._stats.abort(ctx)
-
     def _sample(self, metric, value):
         self._samples.setdefault(metric, []).append(value)
 
-    # Oracle part: coverage and speculation need the completed index.
-
-    def finish(self, ctx):
-        self._stats.finish(ctx)
-        stats = self._stats.by_name[ctx.name]
-        coverage = loop_coverage(ctx.index)
+    def add_workload(self, name, stats, coverage, speculation):
+        """Fold one workload: its :class:`~repro.core.loopstats.
+        LoopStatistics`, its loop coverage fraction, and
+        ``speculation(policy)`` returning that policy's
+        :class:`SpeculationResult` at ``num_tus`` TUs."""
         row = [
-            ctx.name,
+            name,
             stats.total_instructions,
             stats.static_loops,
             round(100.0 * coverage, 1),
@@ -117,18 +110,18 @@ class CharacterizeAnalysis(Analysis):
         self._sample("max nesting", float(stats.max_nesting))
         results = {}
         for policy in self.policies:
-            result = self._timing.fold(
-                shared_simulate(ctx, self.num_tus, policy))
+            result = self._timing.fold(speculation(policy))
             results[policy] = result
             row.append(round(100.0 * result.hit_ratio, 1))
             row.append(round(result.tpc, 2))
             self._sample("hit %% [%s]" % policy, 100.0 * result.hit_ratio)
             self._sample("tpc [%s]" % policy, result.tpc)
         self._rows.append(tuple(row))
-        self.by_name[ctx.name] = {"stats": stats, "coverage": coverage,
-                                  "speculation": results}
+        self.by_name[name] = {"stats": stats, "coverage": coverage,
+                              "speculation": results}
 
-    def result(self):
+    def results(self):
+        """The two :class:`ExperimentResult` tables, in render order."""
         headers = ["workload", "#instr", "#loops", "cov%", "#iter/exec",
                    "#instr/iter", "avg. nl", "max. nl"]
         for policy in self.policies:
@@ -156,6 +149,43 @@ class CharacterizeAnalysis(Analysis):
                                for k, v in self._samples.items()}},
         )
         return [per_workload, summary]
+
+
+@register_analysis("characterize")
+class CharacterizeAnalysis(Analysis):
+    """Per-workload characterization + cross-workload distributions.
+
+    Returns a *list* of two :class:`ExperimentResult` tables: the
+    per-workload sweep and the distribution summary.
+    """
+
+    def __init__(self, policies=POLICIES, num_tus=NUM_TUS):
+        self._tables = CharacterizeTables(policies, num_tus)
+        self.policies = self._tables.policies
+        self.num_tus = num_tus
+        self._stats = LoopStatisticsPass()
+        self.by_name = self._tables.by_name
+
+    # Table-1 statistics aggregate at finish from the index's columns.
+
+    def begin(self, ctx):
+        self._stats.begin(ctx)
+
+    def abort(self, ctx):
+        self._stats.abort(ctx)
+
+    # Oracle part: coverage and speculation need the completed index.
+
+    def finish(self, ctx):
+        self._stats.finish(ctx)
+        self._tables.add_workload(
+            ctx.name,
+            self._stats.by_name[ctx.name],
+            loop_coverage(ctx.index),
+            lambda policy: shared_simulate(ctx, self.num_tus, policy))
+
+    def result(self):
+        return self._tables.results()
 
 
 def run(runner):

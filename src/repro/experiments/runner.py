@@ -25,6 +25,15 @@ Usage::
     python -m repro.experiments.runner sensitivity \
         --spawn-cost 0,2,8,32 --tus 2,4,8,16
     python -m repro.experiments.runner all --profile-run 30
+    python -m repro.experiments.runner sweep sensitivity \
+        --workloads swim,go --spawn-cost 0,8 --jobs 4
+    python -m repro.experiments.runner query --report
+
+``sweep`` and ``query`` route to the resumable sweep subsystem
+(:mod:`repro.sweep`, docs/SWEEPS.md): sweeps checkpoint each finished
+cell into an on-disk store, survive interruption (resubmit to resume;
+Ctrl-C exits 130 after flushing finished cells), and ``query`` rebuilds
+reports from the store byte-identical to the direct runs above.
 
 ``--timing name[:k=v,...]`` selects the timing model speculation
 experiments simulate under (see ``--list`` and docs/TIMING.md; default:
@@ -299,6 +308,27 @@ def _emit(name, results, fmt, output_dir):
 
 
 def main(argv=None):
+    """Top-level dispatch: ``sweep``/``query`` route to the sweep
+    subsystem (:mod:`repro.sweep.cli`); anything else runs experiments
+    directly.  ``KeyboardInterrupt`` exits 130 everywhere -- the sweep
+    orchestrator checkpoints finished cells before the interrupt
+    propagates here, so an interrupted sweep resumes where it left off.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "sweep":
+            from repro.sweep.cli import sweep_main
+            return sweep_main(argv[1:])
+        if argv and argv[0] == "query":
+            from repro.sweep.cli import query_main
+            return query_main(argv[1:])
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv):
     experiments = available_experiments()
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures.")

@@ -60,18 +60,25 @@ def _cost_list(name, values):
         raise ValueError("%s must name at least one value" % name)
     for value in values:
         if not isinstance(value, int) or value < 0:
-            raise ValueError("%s values must be integers >= 0, got %r"
-                             % (name, value))
+            raise ValueError("%s values must be integers >= %d, got %r"
+                             % (name, 0, value))
     return tuple(sorted(set(values)))
 
 
-@register_analysis("sensitivity")
-class SensitivityAnalysis(Analysis):
-    """Returns a list of two tables: TPC per swept configuration and
-    break-even spawn cost per (workload, policy, TU count)."""
+class SensitivityTables:
+    """Accumulates swept simulation results into the experiment's two
+    report tables.
 
-    def __init__(self, spawn_costs=SPAWN_COSTS, tu_counts=TU_COUNTS,
-                 policies=POLICIES, squash_cost=0, promote_cost=0):
+    One fold per workload (:meth:`add_workload`), then
+    :meth:`results`.  The direct :class:`SensitivityAnalysis` and the
+    sweep store's query layer (:mod:`repro.sweep.query`) both render
+    through this builder, which is what keeps a ``runner query``
+    report byte-identical to the direct ``runner sensitivity`` output
+    over the same grid.
+    """
+
+    def __init__(self, spawn_costs, tu_counts, policies, squash_cost,
+                 promote_cost):
         self.spawn_costs = _cost_list("spawn costs", spawn_costs)
         self.tu_counts = _cost_list("TU counts", tu_counts)
         if self.tu_counts[0] < 1:
@@ -81,33 +88,31 @@ class SensitivityAnalysis(Analysis):
             raise ValueError("policies must name at least one policy")
         self.squash_cost = squash_cost
         self.promote_cost = promote_cost
-        # Overhead models are stateless and read-only during
-        # simulation, so one instance per cost serves every workload.
-        self._models = {
-            cost: make_timing("overhead:spawn=%d,squash=%d,promote=%d"
-                              % (cost, squash_cost, promote_cost))
-            for cost in self.spawn_costs}
         self._tpc_rows = []
         self._breakeven_rows = []
         self._speedups = {}     # (workload, policy, tus) -> [speedup]
 
-    def finish(self, ctx):
+    def add_workload(self, name, results):
+        """Fold one workload; ``results(policy, tus, cost)`` returns
+        that configuration's :class:`~repro.core.speculation.metrics.
+        SpeculationResult` (or any object with ``tpc`` and
+        ``speedup_bound``)."""
         for policy in self.policies:
-            even_row = [ctx.name, policy.upper()]
+            even_row = [name, policy.upper()]
             for tus in self.tu_counts:
-                tpc_row = [ctx.name, policy.upper(), tus]
+                tpc_row = [name, policy.upper(), tus]
                 speedups = []
                 for cost in self.spawn_costs:
-                    result = shared_simulate(ctx, tus, policy,
-                                             timing=self._models[cost])
+                    result = results(policy, tus, cost)
                     tpc_row.append(round(result.tpc, 2))
                     speedups.append(result.speedup_bound)
                 self._tpc_rows.append(tuple(tpc_row))
-                self._speedups[(ctx.name, policy, tus)] = speedups
+                self._speedups[(name, policy, tus)] = speedups
                 even_row.append(break_even(self.spawn_costs, speedups))
             self._breakeven_rows.append(tuple(even_row))
 
-    def result(self):
+    def results(self):
+        """The two :class:`ExperimentResult` tables, in render order."""
         overhead_note = ("fixed per-event costs: squash=%d promote=%d"
                          % (self.squash_cost, self.promote_cost))
         if self.squash_cost == self.promote_cost == 0:
@@ -135,6 +140,38 @@ class SensitivityAnalysis(Analysis):
                    overhead_note],
         )
         return [tpc, even]
+
+
+@register_analysis("sensitivity")
+class SensitivityAnalysis(Analysis):
+    """Returns a list of two tables: TPC per swept configuration and
+    break-even spawn cost per (workload, policy, TU count)."""
+
+    def __init__(self, spawn_costs=SPAWN_COSTS, tu_counts=TU_COUNTS,
+                 policies=POLICIES, squash_cost=0, promote_cost=0):
+        self._tables = SensitivityTables(spawn_costs, tu_counts,
+                                         policies, squash_cost,
+                                         promote_cost)
+        self.spawn_costs = self._tables.spawn_costs
+        self.tu_counts = self._tables.tu_counts
+        self.policies = self._tables.policies
+        self.squash_cost = squash_cost
+        self.promote_cost = promote_cost
+        # Overhead models are stateless and read-only during
+        # simulation, so one instance per cost serves every workload.
+        self._models = {
+            cost: make_timing("overhead:spawn=%d,squash=%d,promote=%d"
+                              % (cost, squash_cost, promote_cost))
+            for cost in self.spawn_costs}
+
+    def finish(self, ctx):
+        self._tables.add_workload(
+            ctx.name,
+            lambda policy, tus, cost: shared_simulate(
+                ctx, tus, policy, timing=self._models[cost]))
+
+    def result(self):
+        return self._tables.results()
 
 
 def run(runner, **kwargs):

@@ -1,0 +1,264 @@
+"""The sweep orchestrator: shard, execute, checkpoint, resume.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into
+content-keyed cells, asks the store which are already done, and shards
+only the missing ones across a process pool -- grouped by workload, so
+each worker performs one index build per workload (served from the
+trace cache when warm) however many cells that workload contributes.
+Completed groups are checkpointed into the store *as they stream in*
+(one committed transaction each), which is the whole resume story:
+
+* interrupt mid-sweep, rerun the same spec, and only the cells missing
+  from the store execute (a completed sweep reruns as 0 cells);
+* a cell that raises is recorded as a ``failed`` row -- with the error
+  message -- and the sweep carries on; failed rows are retried on the
+  next submission;
+* ``KeyboardInterrupt`` drains any already-finished worker results
+  into the store before propagating, so Ctrl-C loses at most the
+  groups still executing.
+
+Workers reuse the derived-results store under the same keys as the
+direct experiments (:func:`~repro.analysis.passes.shared_simulate`),
+so a sweep following a ``runner sensitivity`` run -- or vice versa --
+recomputes nothing.
+"""
+
+import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    wait
+
+from repro.sweep.spec import KIND_LOOPSTATS, KIND_SIM, expand_cells
+
+
+class SweepRunStats:
+    """What one :func:`run_sweep` call actually did."""
+
+    __slots__ = ("sweep_id", "planned", "skipped", "executed", "failed",
+                 "checkpoints")
+
+    def __init__(self, sweep_id, planned, skipped):
+        self.sweep_id = sweep_id
+        self.planned = planned      #: cells the grid names
+        self.skipped = skipped      #: already stored as done
+        self.executed = 0           #: computed (and stored) this run
+        self.failed = 0             #: stored as failed rows this run
+        self.checkpoints = 0        #: store commits performed
+
+    def __repr__(self):
+        return ("SweepRunStats(%s: planned=%d, skipped=%d, "
+                "executed=%d, failed=%d)"
+                % (self.sweep_id, self.planned, self.skipped,
+                   self.executed, self.failed))
+
+
+def _cell_descriptor(cell):
+    """The picklable (kind, timing, policy, tus, key) tuple a worker
+    needs to execute one cell."""
+    return (cell.key, cell.kind, cell.timing, cell.policy, cell.tus)
+
+
+def _base_row(cell):
+    return {
+        "cell_key": cell.key, "trace_key": cell.trace_key,
+        "workload": cell.workload, "scale": cell.scale,
+        "max_instructions": cell.max_instructions,
+        "cls_capacity": cell.cls_capacity, "kind": cell.kind,
+        "timing": cell.timing, "policy": cell.policy, "tus": cell.tus,
+    }
+
+
+def run_workload_cells(name, scale, max_instructions, cls_capacity,
+                       cache_dir, descriptors):
+    """Execute every cell of one workload; returns result row dicts.
+
+    Module-level so the process pool can pickle it.  Builds the loop
+    index once (trace cache and derived store apply when *cache_dir*
+    is set), then prices each simulation cell against it.  A cell
+    that raises becomes a ``failed`` row; an index build that raises
+    fails every cell of the workload (the caller records that).
+    """
+    from repro.core.loopstats import compute_loop_statistics, \
+        loop_coverage
+    from repro.core.speculation import simulate
+    from repro.pipeline import PipelineConfig, SimulationSession
+    from repro.pipeline.derived import DerivedCache
+    from repro.sweep.spec import sim_cell_suffix
+    from repro.timing import make_timing
+
+    session = SimulationSession(PipelineConfig(
+        workloads=(name,), scale=scale,
+        max_instructions=max_instructions, cls_capacity=cls_capacity,
+        cache_dir=cache_dir))
+    index = session.index(name)
+    derived = None
+    if cache_dir is not None:
+        from repro.pipeline.cache import TraceCache
+        workload = session.workloads[0]
+        derived = DerivedCache(cache_dir).store(TraceCache.key(
+            name, scale, session.config.limit_for(workload),
+            session._fingerprint(name)))
+
+    rows = []
+    for key, kind, timing, policy, tus in descriptors:
+        row = {"cell_key": key, "status": "done", "error": None,
+               "tpc": None, "hit_ratio": None, "speedup": None,
+               "overhead_cycles": None, "detail": None}
+        try:
+            if kind == KIND_SIM:
+                model = None if timing == "ideal" else \
+                    make_timing(timing)
+                dkey = sim_cell_suffix(
+                    tus, policy,
+                    None if model is None else model.key(),
+                    cls_capacity)
+                result = _restore_sim(derived, dkey)
+                if result is None:
+                    result = simulate(index, num_tus=tus, policy=policy,
+                                      name=name, timing=model)
+                    if derived is not None:
+                        derived.put(dkey, result.state())
+                row.update(
+                    tpc=result.tpc, hit_ratio=result.hit_ratio,
+                    speedup=result.speedup_bound,
+                    overhead_cycles=result.overhead_cycles,
+                    detail=json.dumps(result.state(), sort_keys=True))
+            elif kind == KIND_LOOPSTATS:
+                stats = compute_loop_statistics(index, name)
+                row["detail"] = json.dumps(
+                    {"stats": stats.state(),
+                     "coverage": loop_coverage(index)},
+                    sort_keys=True)
+            else:
+                raise ValueError("unknown cell kind %r" % kind)
+        except Exception as exc:
+            row["status"] = "failed"
+            row["error"] = "%s: %s" % (type(exc).__name__, exc)
+        rows.append(row)
+    if derived is not None:
+        derived.flush()
+    return name, rows
+
+
+def _restore_sim(derived, dkey):
+    from repro.core.speculation.metrics import SpeculationResult
+
+    if derived is None:
+        return None
+    state = derived.get(dkey)
+    if state is None:
+        return None
+    try:
+        return SpeculationResult.from_state(state)
+    except (KeyError, TypeError):
+        return None
+
+
+def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
+              dry_run=False):
+    """Execute *spec* into *store*; returns :class:`SweepRunStats`.
+
+    *progress*, when given, is called as ``progress(workload,
+    executed_so_far, total_missing)`` after each checkpoint commit --
+    the fault-injection seam the resume tests use, and the CLI's
+    progress line.  *dry_run* plans and registers the sweep but
+    executes nothing.
+    """
+    cells = expand_cells(spec)
+    sweep_id = store.record_sweep(spec, [c.key for c in cells])
+    done = store.done_keys([c.key for c in cells])
+    missing = [c for c in cells if c.key not in done]
+    stats = SweepRunStats(sweep_id, len(cells), len(cells) - len(missing))
+    if dry_run or not missing:
+        return stats
+
+    # Shard by workload: one task per workload keeps the expensive part
+    # (index build) amortized across that workload's whole cell set.
+    groups = {}
+    order = []
+    for cell in missing:
+        if cell.workload not in groups:
+            groups[cell.workload] = []
+            order.append(cell.workload)
+        groups[cell.workload].append(cell)
+    by_cell = {c.key: c for c in missing}
+
+    def absorb(name, result_rows):
+        rows = []
+        for partial in result_rows:
+            row = _base_row(by_cell[partial["cell_key"]])
+            row.update(partial)
+            rows.append(row)
+            if partial["status"] == "failed":
+                stats.failed += 1
+            else:
+                stats.executed += 1
+        store.put_cells(rows)
+        stats.checkpoints += 1
+        if progress is not None:
+            progress(name, stats.executed + stats.failed, len(missing))
+
+    def task_args(name):
+        return (name, spec.scale, spec.max_instructions,
+                spec.cls_capacity, cache_dir,
+                [_cell_descriptor(c) for c in groups[name]])
+
+    def fail_group(name, exc):
+        rows = []
+        for cell in groups[name]:
+            row = _base_row(cell)
+            row.update(status="failed", tpc=None, hit_ratio=None,
+                       speedup=None, overhead_cycles=None, detail=None,
+                       error="%s: %s" % (type(exc).__name__, exc))
+            rows.append(row)
+            stats.failed += 1
+        store.put_cells(rows)
+        stats.checkpoints += 1
+        if progress is not None:
+            progress(name, stats.executed + stats.failed, len(missing))
+
+    if jobs <= 1 or len(order) <= 1:
+        for name in order:
+            try:
+                _, rows = run_workload_cells(*task_args(name))
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                # Index build (or another per-workload stage) died:
+                # record every cell of the group as failed.
+                fail_group(name, exc)
+            else:
+                absorb(name, rows)
+        return stats
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(order))) as pool:
+        futures = {pool.submit(run_workload_cells, *task_args(name)):
+                   name for name in order}
+        pending = set(futures)
+        try:
+            while pending:
+                finished, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    name = futures[future]
+                    try:
+                        _, rows = future.result()
+                    except Exception as exc:
+                        fail_group(name, exc)
+                    else:
+                        absorb(name, rows)
+        except KeyboardInterrupt:
+            # Flush whatever already finished, then propagate; the
+            # CLI turns this into exit code 130.
+            for future in pending:
+                future.cancel()
+            for future in [f for f in pending if f.done()
+                           and not f.cancelled()]:
+                name = futures[future]
+                try:
+                    _, rows = future.result()
+                except Exception:
+                    continue
+                absorb(name, rows)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return stats

@@ -1,0 +1,374 @@
+"""Resumable on-disk sweep result store (sqlite).
+
+One database holds every sweep's results: a ``cells`` table with one
+row per content-keyed cell (metrics as real columns for SQL-level
+filtering and aggregation, the full result state as a JSON detail
+blob for exact reconstruction), a ``sweeps`` table recording each
+submitted grid's canonical spec, and a ``sweep_cells`` membership map.
+Cells are global -- two sweeps whose grids overlap share the
+overlapping rows, so repeat cells are free across sweeps, not just
+within one.
+
+The store is schema-versioned through sqlite's ``user_version`` pragma
+the way :mod:`repro.pipeline.derived` versions its JSON sidecars, but
+with the opposite failure policy: a derived-cache miss just recomputes,
+whereas a sweep store holds results the user asked to keep, so a
+corrupt file or a version mismatch raises :class:`SweepStoreError`
+with a clean message (``tools/trace_cache.py sweeps clear`` resets it)
+instead of silently discarding data or spewing a sqlite traceback.
+
+Default location: ``~/.cache/repro-sweeps`` (override with the
+``REPRO_SWEEP_STORE`` environment variable or ``--store``).
+"""
+
+import json
+import os
+import sqlite3
+import time
+
+#: Bump when the schema or the meaning of any stored column changes.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_SWEEP_STORE"
+
+#: Database filename inside the store directory.
+DB_NAME = "store.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id    TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    spec        TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    cell_key         TEXT PRIMARY KEY,
+    trace_key        TEXT NOT NULL,
+    workload         TEXT NOT NULL,
+    scale            INTEGER NOT NULL,
+    max_instructions INTEGER NOT NULL,
+    cls_capacity     INTEGER NOT NULL,
+    kind             TEXT NOT NULL,
+    timing           TEXT,
+    policy           TEXT,
+    tus              INTEGER,
+    status           TEXT NOT NULL,
+    tpc              REAL,
+    hit_ratio        REAL,
+    speedup          REAL,
+    overhead_cycles  INTEGER,
+    detail           TEXT,
+    error            TEXT,
+    updated_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS cells_by_workload
+    ON cells (workload, kind, policy, tus);
+CREATE TABLE IF NOT EXISTS sweep_cells (
+    sweep_id TEXT NOT NULL,
+    cell_key TEXT NOT NULL,
+    PRIMARY KEY (sweep_id, cell_key)
+);
+"""
+
+#: Column order of :data:`CellRow` / ``put_cells`` payload dicts.
+CELL_FIELDS = ("cell_key", "trace_key", "workload", "scale",
+               "max_instructions", "cls_capacity", "kind", "timing",
+               "policy", "tus", "status", "tpc", "hit_ratio", "speedup",
+               "overhead_cycles", "detail", "error")
+
+
+class SweepStoreError(ValueError):
+    """The store is unusable (corrupt file or schema mismatch)."""
+
+
+class CellRow:
+    """One stored cell, column access by name."""
+
+    __slots__ = CELL_FIELDS + ("updated_at",)
+
+    def __init__(self, values):
+        for name, value in zip(self.__slots__, values):
+            setattr(self, name, value)
+
+    @property
+    def detail_json(self):
+        """The decoded detail blob (``{}`` when absent/unreadable)."""
+        if not self.detail:
+            return {}
+        try:
+            payload = json.loads(self.detail)
+        except json.JSONDecodeError:
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def __repr__(self):
+        return ("CellRow(%s %s %s policy=%s tus=%s %s)"
+                % (self.workload, self.kind, self.timing, self.policy,
+                   self.tus, self.status))
+
+
+def default_store_dir():
+    """The sweep store used when no ``--store`` is given."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache",
+                        "repro-sweeps")
+
+
+class SweepStore:
+    """The sweep database under *root* (a directory).
+
+    Opens lazily; every sqlite-level failure surfaces as
+    :class:`SweepStoreError` with the path in the message.  Use as a
+    context manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        self.path = os.path.join(root, DB_NAME)
+        self._conn = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _connect(self):
+        if self._conn is not None:
+            return self._conn
+        os.makedirs(self.root, exist_ok=True)
+        try:
+            conn = sqlite3.connect(self.path)
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            empty = conn.execute(
+                "SELECT COUNT(*) FROM sqlite_master").fetchone()[0] == 0
+            if empty:
+                conn.executescript(_SCHEMA)
+                conn.execute("PRAGMA user_version = %d"
+                             % SWEEP_SCHEMA_VERSION)
+                conn.commit()
+            elif version != SWEEP_SCHEMA_VERSION:
+                conn.close()
+                raise SweepStoreError(
+                    "sweep store %s has schema version %d, this build "
+                    "expects %d; run 'python tools/trace_cache.py "
+                    "sweeps clear --store %s' (or point --store at a "
+                    "fresh directory)"
+                    % (self.path, version, SWEEP_SCHEMA_VERSION,
+                       self.root))
+            else:
+                # Same version: sanity-check the tables exist.
+                conn.executescript(_SCHEMA)
+                conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise SweepStoreError(
+                "sweep store %s is corrupt (%s); run 'python "
+                "tools/trace_cache.py sweeps clear --store %s' to "
+                "reset it" % (self.path, exc, self.root)) from None
+        self._conn = conn
+        return conn
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        self._connect()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _execute(self, sql, params=()):
+        try:
+            return self._connect().execute(sql, params)
+        except sqlite3.DatabaseError as exc:
+            raise SweepStoreError(
+                "sweep store %s failed: %s" % (self.path, exc)) \
+                from None
+
+    # -- sweeps ------------------------------------------------------------
+
+    def record_sweep(self, spec, cell_keys):
+        """Register *spec* (idempotent) and its cell membership;
+        returns the sweep id."""
+        sweep_id = spec.sweep_id
+        now = time.time()
+        conn = self._connect()
+        self._execute(
+            "INSERT INTO sweeps (sweep_id, experiment, spec, "
+            "created_at, updated_at) VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(sweep_id) DO UPDATE SET updated_at = ?",
+            (sweep_id, spec.experiment, spec.to_json(), now, now, now))
+        conn.executemany(
+            "INSERT OR IGNORE INTO sweep_cells (sweep_id, cell_key) "
+            "VALUES (?, ?)", [(sweep_id, key) for key in cell_keys])
+        conn.commit()
+        return sweep_id
+
+    def sweeps(self):
+        """``(sweep_id, experiment, spec_json, created_at, updated_at)``
+        rows, most recently updated last."""
+        return self._execute(
+            "SELECT sweep_id, experiment, spec, created_at, updated_at "
+            "FROM sweeps ORDER BY updated_at, sweep_id").fetchall()
+
+    def spec_for(self, sweep_id):
+        """The stored :class:`~repro.sweep.spec.SweepSpec` of
+        *sweep_id* (unique-prefix match); raises
+        :class:`SweepStoreError` when absent or ambiguous."""
+        from repro.sweep.spec import SweepSpec
+
+        rows = self._execute(
+            "SELECT sweep_id, spec FROM sweeps WHERE sweep_id LIKE ? "
+            "ORDER BY sweep_id", (sweep_id + "%",)).fetchall()
+        if not rows:
+            raise SweepStoreError("no sweep %r in %s"
+                                  % (sweep_id, self.path))
+        if len(rows) > 1:
+            raise SweepStoreError(
+                "sweep id %r is ambiguous in %s (matches %s)"
+                % (sweep_id, self.path,
+                   ", ".join(row[0] for row in rows)))
+        return SweepSpec.from_json(rows[0][1])
+
+    def latest_sweep_id(self):
+        """The most recently updated sweep's id, or ``None``."""
+        rows = self.sweeps()
+        return rows[-1][0] if rows else None
+
+    # -- cells -------------------------------------------------------------
+
+    def done_keys(self, cell_keys):
+        """The subset of *cell_keys* already stored with status
+        ``done`` (failed rows are retried, so they do not count)."""
+        keys = list(cell_keys)
+        done = set()
+        for start in range(0, len(keys), 500):
+            chunk = keys[start:start + 500]
+            marks = ",".join("?" * len(chunk))
+            rows = self._execute(
+                "SELECT cell_key FROM cells WHERE status = 'done' "
+                "AND cell_key IN (%s)" % marks, chunk).fetchall()
+            done.update(row[0] for row in rows)
+        return done
+
+    def put_cells(self, rows):
+        """Insert-or-replace *rows* (dicts keyed by
+        :data:`CELL_FIELDS`) and commit -- this is the checkpoint the
+        orchestrator's resume guarantee rests on."""
+        if not rows:
+            return
+        now = time.time()
+        payload = [tuple(row.get(f) for f in CELL_FIELDS) + (now,)
+                   for row in rows]
+        marks = ",".join("?" * (len(CELL_FIELDS) + 1))
+        conn = self._connect()
+        try:
+            conn.executemany(
+                "INSERT OR REPLACE INTO cells (%s, updated_at) "
+                "VALUES (%s)" % (",".join(CELL_FIELDS), marks), payload)
+            conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise SweepStoreError(
+                "sweep store %s failed: %s" % (self.path, exc)) \
+                from None
+
+    def get_cells(self, cell_keys=None, sweep_id=None, workloads=None,
+                  kinds=None, policies=None, tus=None, timings=None,
+                  status=None):
+        """:class:`CellRow` list under the given filters, in
+        deterministic (workload, kind, timing, policy, tus) order."""
+        where, params = [], []
+        sql = ("SELECT %s, updated_at FROM cells"
+               % ",".join(CELL_FIELDS))
+        if sweep_id is not None:
+            sql += (" JOIN sweep_cells USING (cell_key)")
+            where.append("sweep_cells.sweep_id = ?")
+            params.append(sweep_id)
+
+        def add_in(column, values):
+            values = list(values)
+            where.append("%s IN (%s)" % (column,
+                                         ",".join("?" * len(values))))
+            params.extend(values)
+
+        if cell_keys is not None:
+            add_in("cell_key", cell_keys)
+        if workloads is not None:
+            add_in("workload", workloads)
+        if kinds is not None:
+            add_in("kind", kinds)
+        if policies is not None:
+            add_in("policy", policies)
+        if tus is not None:
+            add_in("tus", tus)
+        if timings is not None:
+            add_in("timing", timings)
+        if status is not None:
+            where.append("status = ?")
+            params.append(status)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += (" ORDER BY workload, kind, timing, policy, tus,"
+                " cell_key")
+        return [CellRow(row) for row in
+                self._execute(sql, params).fetchall()]
+
+    def counts(self, sweep_id=None):
+        """``(total, done, failed)`` cell counts, optionally scoped to
+        one sweep's membership."""
+        if sweep_id is None:
+            row = self._execute(
+                "SELECT COUNT(*), "
+                "SUM(CASE WHEN status = 'done' THEN 1 ELSE 0 END), "
+                "SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END) "
+                "FROM cells").fetchone()
+        else:
+            row = self._execute(
+                "SELECT COUNT(s.cell_key), "
+                "SUM(CASE WHEN c.status = 'done' THEN 1 ELSE 0 END), "
+                "SUM(CASE WHEN c.status = 'failed' THEN 1 ELSE 0 END) "
+                "FROM sweep_cells s LEFT JOIN cells c "
+                "ON s.cell_key = c.cell_key WHERE s.sweep_id = ?",
+                (sweep_id,)).fetchone()
+        total, done, failed = row
+        return (total or 0, done or 0, failed or 0)
+
+    def sweep_total(self, sweep_id):
+        """How many cells *sweep_id*'s grid names (stored or not)."""
+        return self._execute(
+            "SELECT COUNT(*) FROM sweep_cells WHERE sweep_id = ?",
+            (sweep_id,)).fetchone()[0]
+
+    # -- maintenance -------------------------------------------------------
+
+    def prune(self, dry_run=False):
+        """Drop failed cells and cells no sweep references; returns
+        ``(failed_removed, orphaned_removed)``."""
+        conn = self._connect()
+        failed = self._execute(
+            "SELECT COUNT(*) FROM cells WHERE status = 'failed'"
+        ).fetchone()[0]
+        orphaned = self._execute(
+            "SELECT COUNT(*) FROM cells WHERE status != 'failed' AND "
+            "cell_key NOT IN (SELECT cell_key FROM sweep_cells)"
+        ).fetchone()[0]
+        if not dry_run:
+            self._execute("DELETE FROM cells WHERE status = 'failed'")
+            self._execute(
+                "DELETE FROM cells WHERE cell_key NOT IN "
+                "(SELECT cell_key FROM sweep_cells)")
+            conn.commit()
+        return failed, orphaned
+
+    def clear(self):
+        """Delete the database file entirely (works even when the file
+        is corrupt or from another schema version)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+            return True
+        except FileNotFoundError:
+            return False

@@ -9,6 +9,9 @@ inspectable and bounded::
     python tools/trace_cache.py ls
     python tools/trace_cache.py prune --max-bytes 50000000
     python tools/trace_cache.py clear
+    python tools/trace_cache.py sweeps ls
+    python tools/trace_cache.py sweeps prune --dry-run
+    python tools/trace_cache.py sweeps clear
 
 ``ls`` prints one row per entry with its format version, record count,
 total instructions, compressed (on-disk) and uncompressed (decoded
@@ -19,6 +22,13 @@ entries until the cache fits the budget.  ``clear`` deletes every
 entry.  All commands honour ``--cache-dir`` and the
 ``REPRO_TRACE_CACHE`` environment variable, defaulting to the
 pipeline's default cache location.
+
+``sweeps`` manages the sweep result store (:mod:`repro.sweep.store`,
+``--store`` / ``REPRO_SWEEP_STORE``) the same way: ``sweeps ls`` lists
+stored sweeps with their cell progress, ``sweeps prune`` drops failed
+cell rows (so resubmission retries them) and cells no sweep references,
+``sweeps clear`` deletes the store database -- including a corrupt or
+version-mismatched one the other commands refuse to open.
 """
 
 import argparse
@@ -176,18 +186,77 @@ def cmd_clear(root, args):
     return 0
 
 
-COMMANDS = {"ls": cmd_ls, "prune": cmd_prune, "clear": cmd_clear}
+def cmd_sweeps_ls(store, _args):
+    from repro.sweep.query import sweep_overview
+
+    if not store.sweeps():
+        print("sweep store %s is empty" % store.root)
+        return 0
+    print(sweep_overview(store).render())
+    return 0
+
+
+def cmd_sweeps_prune(store, args):
+    failed, orphaned = store.prune(dry_run=args.dry_run)
+    verb = "would prune" if args.dry_run else "pruned"
+    print("%s %d failed cell(s), %d orphaned cell(s) from %s"
+          % (verb, failed, orphaned, store.root))
+    return 0
+
+
+def cmd_sweeps_clear(store, args):
+    if args.dry_run:
+        print("would remove the sweep store database under %s"
+              % store.root)
+        return 0
+    store.clear()
+    print("removed the sweep store database under %s" % store.root)
+    return 0
+
+
+SWEEP_ACTIONS = {"ls": cmd_sweeps_ls, "prune": cmd_sweeps_prune,
+                 "clear": cmd_sweeps_clear}
+
+
+def cmd_sweeps(_root, args):
+    from repro.sweep.store import SweepStore, SweepStoreError
+
+    store = SweepStore(args.store)
+    try:
+        return SWEEP_ACTIONS[args.action](store, args)
+    except SweepStoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+
+
+COMMANDS = {"ls": cmd_ls, "prune": cmd_prune, "clear": cmd_clear,
+            "sweeps": cmd_sweeps}
 
 
 def main(argv=None):
+    from repro.sweep.store import default_store_dir
+
     parser = argparse.ArgumentParser(
-        description="Inspect and bound the on-disk trace cache.")
+        description="Inspect and bound the on-disk trace cache and "
+                    "sweep result store.")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="ls: list entries; prune: drop corrupt/"
                              "stale entries and enforce --max-bytes; "
-                             "clear: drop everything")
+                             "clear: drop everything; sweeps: manage "
+                             "the sweep result store")
+    parser.add_argument("action", nargs="?", default=None,
+                        choices=sorted(SWEEP_ACTIONS),
+                        help="sweeps only: ls (list sweeps), prune "
+                             "(drop failed/orphaned cells), clear "
+                             "(delete the store database)")
     parser.add_argument("--cache-dir", default=default_cache_dir(),
                         help="cache location (default %(default)s)")
+    parser.add_argument("--store", default=default_store_dir(),
+                        metavar="DIR",
+                        help="sweeps: store location "
+                             "(default %(default)s)")
     parser.add_argument("--max-bytes", type=int, default=None,
                         metavar="N",
                         help="prune: evict oldest entries until the "
@@ -196,10 +265,19 @@ def main(argv=None):
                         help="report what prune/clear would delete "
                              "without deleting")
     args = parser.parse_args(argv)
-    if args.max_bytes is not None and args.command != "prune":
-        parser.error("--max-bytes applies to prune only")
-    if args.max_bytes is not None and args.max_bytes < 0:
-        parser.error("--max-bytes must be >= 0")
+    if args.command == "sweeps":
+        if args.action is None:
+            parser.error("sweeps expects an action: %s"
+                         % "|".join(sorted(SWEEP_ACTIONS)))
+        if args.max_bytes is not None:
+            parser.error("--max-bytes applies to prune only")
+    else:
+        if args.action is not None:
+            parser.error("%s takes no action argument" % args.command)
+        if args.max_bytes is not None and args.command != "prune":
+            parser.error("--max-bytes applies to prune only")
+        if args.max_bytes is not None and args.max_bytes < 0:
+            parser.error("--max-bytes must be >= 0")
     return COMMANDS[args.command](args.cache_dir, args)
 
 
