@@ -28,6 +28,13 @@ Usage::
     python -m repro.experiments.runner sweep sensitivity \
         --workloads swim,go --spawn-cost 0,8 --jobs 4
     python -m repro.experiments.runner query --report
+    python -m repro.experiments.runner search \
+        --objective tpc-inversion --budget 200 --seed 7
+
+``search`` routes to the adversarial workload search
+(:mod:`repro.search`, docs/SEARCH.md): a deterministic hill climber
+over synthetic profile knobs that checkpoints into the sweep store and
+promotes winners into the committed frontier corpus.
 
 ``sweep`` and ``query`` route to the resumable sweep subsystem
 (:mod:`repro.sweep`, docs/SWEEPS.md): sweeps checkpoint each finished
@@ -322,6 +329,9 @@ def main(argv=None):
         if argv and argv[0] == "query":
             from repro.sweep.cli import query_main
             return query_main(argv[1:])
+        if argv and argv[0] == "search":
+            from repro.search.cli import search_main
+            return search_main(argv[1:])
         return _main(argv)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

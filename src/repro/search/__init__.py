@@ -1,0 +1,69 @@
+"""Adversarial workload search over the synthetic profile space.
+
+The paper's claims (loop coverage, speculation TPC, policy ranking)
+were established on a hand-picked suite; this package actively hunts
+the *scenario frontier* instead: workloads where speculation inverts
+under realistic overheads (``tpc-inversion``), where the detector's
+coverage collapses (``coverage-collapse``), or where the spawning
+policies disagree maximally (``policy-divergence``).
+
+The search (:mod:`repro.search.loop`) is a deterministic
+random-restart hill climber over :class:`~repro.workloads.synthetic.
+profile.WorkloadProfile` knobs and generator seeds -- every mutation
+comes from one seeded stream, so ``runner search --seed 7`` walks the
+same trajectory on every run.  Candidate evaluation reuses the
+pipeline end-to-end: candidates register as ordinary synthetic
+workloads, traces go through the trace cache, simulations through the
+derived store, and every evaluated metric is checkpointed into the PR 7
+sweep store under the *same content keys* as ``runner sweep`` cells --
+interrupting a search and resubmitting it recomputes only the missing
+candidates.
+
+Winners are promoted into the committed frontier corpus
+(``tests/frontier/``, see :mod:`repro.search.corpus`): profile JSON +
+generator seed + pinned metrics, each loadable as a named workload
+(``frontier-<objective>-<k>``) and pinned by golden regression tests.
+
+See ``docs/SEARCH.md``.
+"""
+
+from repro.search.objectives import (
+    EvalSettings,
+    Objective,
+    get_objective,
+    objective_names,
+    register_objective,
+)
+from repro.search.spec import SearchSpec
+from repro.search.evaluate import CandidateMetrics, evaluate_candidate
+from repro.search.loop import SearchStats, Winner, run_search
+from repro.search.corpus import (
+    FRONTIER_PREFIX,
+    FrontierCase,
+    export_winners,
+    frontier_dir,
+    frontier_names,
+    load_case,
+    resolve_frontier,
+)
+
+__all__ = [
+    "CandidateMetrics",
+    "EvalSettings",
+    "FRONTIER_PREFIX",
+    "FrontierCase",
+    "Objective",
+    "SearchSpec",
+    "SearchStats",
+    "Winner",
+    "evaluate_candidate",
+    "export_winners",
+    "frontier_dir",
+    "frontier_names",
+    "get_objective",
+    "load_case",
+    "objective_names",
+    "register_objective",
+    "resolve_frontier",
+    "run_search",
+]

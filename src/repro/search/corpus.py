@@ -1,0 +1,207 @@
+"""The committed frontier corpus: search winners as named workloads.
+
+A search winner is promoted by writing one JSON *case file* under
+``tests/frontier/``: the full profile, the generator seed, the
+evaluation settings, and the pinned metrics the candidate scored.
+Committed cases are first-class workloads -- ``frontier-<objective>-<k>``
+resolves through the ordinary registry
+(:func:`~repro.workloads.base.get` falls back to
+:func:`resolve_frontier`), so ``runner characterize --workloads
+frontier-tpc-inversion-1`` or a sweep over the corpus just works.
+
+The golden regression tests (``tests/test_frontier.py``) re-evaluate
+every committed case from scratch and assert (a) the pinned metrics
+reproduce exactly and (b) the case still satisfies its objective's
+frontier property.  A generator or simulator change that shifts a
+frontier workload's behaviour fails those tests loudly -- the corpus
+is the search's lasting artifact, the way the trace cache is the
+pipeline's.
+"""
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.search.evaluate import CandidateMetrics
+from repro.search.objectives import EvalSettings, get_objective
+
+#: Committed case files (and their workload names) start with this.
+FRONTIER_PREFIX = "frontier-"
+
+#: Environment variable overriding :func:`frontier_dir`.
+FRONTIER_ENV_VAR = "REPRO_FRONTIER_DIR"
+
+#: Bump when the case file layout changes.
+CASE_FORMAT = 1
+
+
+def frontier_dir():
+    """The corpus directory: ``$REPRO_FRONTIER_DIR`` when set, the
+    repository's ``tests/frontier`` otherwise."""
+    override = os.environ.get(FRONTIER_ENV_VAR)
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "frontier")
+
+
+@dataclass(frozen=True)
+class FrontierCase:
+    """One committed frontier workload, fully pinned."""
+
+    name: str
+    objective: str
+    property_text: str
+    score: float
+    profile: object             # WorkloadProfile
+    gen_seed: int
+    settings: EvalSettings
+    metrics: CandidateMetrics
+    provenance: dict
+
+    def to_payload(self):
+        return {
+            "format": CASE_FORMAT,
+            "name": self.name,
+            "objective": self.objective,
+            "property": self.property_text,
+            "score": self.score,
+            "profile": self.profile.to_dict(),
+            "generator_seed": self.gen_seed,
+            "settings": self.settings.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        from repro.workloads.synthetic import WorkloadProfile
+
+        if not isinstance(payload, dict) \
+                or payload.get("format") != CASE_FORMAT:
+            raise ValueError(
+                "not a frontier case file (format %r, expected %d)"
+                % (payload.get("format") if isinstance(payload, dict)
+                   else None, CASE_FORMAT))
+        try:
+            return cls(
+                name=payload["name"],
+                objective=payload["objective"],
+                property_text=payload["property"],
+                score=payload["score"],
+                profile=WorkloadProfile.from_dict(payload["profile"]),
+                gen_seed=payload["generator_seed"],
+                settings=EvalSettings.from_dict(payload["settings"]),
+                metrics=CandidateMetrics.from_dict(
+                    payload["name"], payload["metrics"]),
+                provenance=payload.get("provenance", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError("unreadable frontier case: %s" % exc) \
+                from None
+
+
+def case_path(name, directory=None):
+    """Where *name*'s case file lives (whether or not it exists)."""
+    return os.path.join(directory or frontier_dir(), name + ".json")
+
+
+def load_case(name, directory=None):
+    """The committed :class:`FrontierCase` called *name* (a frontier
+    workload name or a path to a case file)."""
+    path = name if os.sep in name or name.endswith(".json") \
+        else case_path(name, directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise KeyError("no frontier case %r (looked at %s)"
+                       % (name, path)) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError("unreadable frontier case %s: %s"
+                         % (path, exc)) from None
+    return FrontierCase.from_payload(payload)
+
+
+def frontier_names(directory=None):
+    """Sorted names of every committed case."""
+    directory = directory or frontier_dir()
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(os.path.splitext(entry)[0] for entry in entries
+                  if entry.startswith(FRONTIER_PREFIX)
+                  and entry.endswith(".json"))
+
+
+def resolve_frontier(name, directory=None):
+    """Resolve and register the frontier workload *name*.
+
+    The :func:`~repro.workloads.base.get` fallback for ``frontier-``
+    names: loads the committed case and registers a workload *under
+    the frontier name itself* whose builder regenerates the pinned
+    profile at the pinned seed.  Raises :class:`KeyError` when no such
+    case is committed, keeping registry lookup errors KeyErrors.
+    """
+    from repro.workloads.base import Workload, register_workload
+    from repro.workloads.synthetic import generate_module
+
+    case = load_case(name, directory)
+    profile, seed = case.profile, case.gen_seed
+
+    def builder(scale):
+        return generate_module(profile, seed, scale)
+
+    workload = Workload(
+        name, builder,
+        "frontier corpus case (%s): %s"
+        % (case.objective, case.property_text),
+        profile.category,
+        default_max_instructions=profile.default_max_instructions)
+    return register_workload(workload)
+
+
+def export_winners(spec, winners, directory=None, limit=None):
+    """Write the frontier-satisfying *winners* of *spec*'s search as
+    case files; returns the written paths (best score first).
+
+    Only winners whose metrics satisfy the objective's frontier
+    property are exported -- a search that never crossed the frontier
+    exports nothing rather than committing a weak case.  Files are
+    named ``frontier-<objective>-<k>.json`` (k = 1-based rank) and
+    overwrite any previous export of the same rank.
+    """
+    objective = get_objective(spec.objective)
+    keep = [w for w in winners if w.frontier]
+    if limit is not None:
+        keep = keep[:limit]
+    directory = directory or frontier_dir()
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for rank, winner in enumerate(keep, start=1):
+        name = "%s%s-%d" % (FRONTIER_PREFIX, spec.objective, rank)
+        case = FrontierCase(
+            name=name,
+            objective=spec.objective,
+            property_text=objective.property_text,
+            score=winner.score,
+            profile=winner.profile,
+            gen_seed=winner.gen_seed,
+            settings=spec.settings,
+            metrics=winner.metrics,
+            provenance={
+                "search_id": spec.sweep_id,
+                "search_spec": json.loads(spec.to_json()),
+                "synthetic_name": winner.name,
+                "eval_index": winner.eval_index,
+            },
+        )
+        path = case_path(name, directory)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(case.to_payload(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths

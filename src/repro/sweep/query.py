@@ -185,9 +185,9 @@ def sweep_report(store, spec):
 
 
 def _spawn_timing(spec, cost):
-    from repro.sweep.spec import _canonical_timing
+    from repro.sweep.spec import canonical_timing
 
-    return _canonical_timing(spec.overhead_spec(cost))
+    return canonical_timing(spec.overhead_spec(cost))
 
 
 def sweep_overview(store):

@@ -198,7 +198,7 @@ class Cell:
     spawn_cost: Optional[int] = field(default=None, compare=False)
 
 
-def _canonical_timing(spec_str):
+def canonical_timing(spec_str):
     """``(canonical spec string, model-or-None, derived-key part)``.
 
     All-zero overhead specs collapse onto the ideal model exactly like
@@ -284,7 +284,7 @@ def expand_cells(spec):
             for policy in spec.policies:
                 for tus in spec.tu_counts:
                     for cost in spec.spawn_costs:
-                        timing, _, timing_key = _canonical_timing(
+                        timing, _, timing_key = canonical_timing(
                             spec.overhead_spec(cost))
                         add(KIND_SIM,
                             sim_cell_suffix(tus, policy, timing_key,

@@ -231,6 +231,16 @@ class SweepStore:
                 "sweep id %r is ambiguous in %s (matches %s)"
                 % (sweep_id, self.path,
                    ", ".join(row[0] for row in rows)))
+        try:
+            payload = json.loads(rows[0][1])
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) \
+                and payload.get("experiment") == "search":
+            raise SweepStoreError(
+                "%s is a search run, not a sweep; resume it by "
+                "resubmitting the same 'runner search' command"
+                % rows[0][0])
         return SweepSpec.from_json(rows[0][1])
 
     def latest_sweep_id(self):

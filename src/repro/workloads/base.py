@@ -94,6 +94,8 @@ def get(name):
     deterministic generator (:mod:`repro.workloads.synthetic`) and are
     registered on first lookup — including inside pooled tracer
     processes, which resolve names through this function.
+    ``frontier-<objective>-<k>`` names resolve through the committed
+    frontier corpus (:mod:`repro.search.corpus`) the same way.
     """
     try:
         return _REGISTRY[name]
@@ -102,6 +104,9 @@ def get(name):
     if name.startswith("synth-"):
         from repro.workloads.synthetic import resolve_synthetic
         return resolve_synthetic(name)
+    if name.startswith("frontier-"):
+        from repro.search.corpus import resolve_frontier
+        return resolve_frontier(name)
     raise KeyError("unknown workload %r (known: %s)"
                    % (name, ", ".join(sorted(_REGISTRY))))
 

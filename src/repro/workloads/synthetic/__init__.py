@@ -22,10 +22,17 @@ family ``synth-P-S .. synth-P-(S+N-1)`` (see ``docs/WORKLOADS.md``).
 
 from repro.workloads.base import Workload, register_workload
 from repro.workloads.synthetic.generator import generate_module
+from repro.workloads.synthetic.mutate import (
+    as_candidate,
+    mutate_profile,
+    random_profile,
+)
 from repro.workloads.synthetic.profile import (
     PROFILES,
+    ProfileValidationError,
     WorkloadProfile,
     get_profile,
+    profile_digest,
     profile_names,
 )
 
@@ -92,6 +99,28 @@ def resolve_synthetic(name):
     return register_workload(make_workload(profile, seed))
 
 
+def ensure_profile_workload(profile, seed):
+    """Register (idempotently) the ``(profile, seed)`` workload and
+    return its name.
+
+    The adversarial search's registration path: candidate profiles are
+    *not* in :data:`PROFILES`, so their ``synth-<name>-<seed>`` names
+    only resolve inside a process that called this.  Re-registration
+    under the same name hands back the already-registered workload --
+    candidate names are content digests, so one name can only ever
+    mean one program family.
+    """
+    from repro.workloads.base import get
+
+    name = synthetic_name(profile, seed)
+    try:
+        return get(name).name
+    except KeyError:
+        pass
+    register_workload(make_workload(profile, seed))
+    return name
+
+
 def sweep_names(profile_name, seed, count):
     """The *count* consecutive-seed names of one characterization
     sweep: ``synth-<profile>-<seed> .. synth-<profile>-<seed+count-1>``."""
@@ -105,13 +134,19 @@ def sweep_names(profile_name, seed, count):
 
 __all__ = [
     "PROFILES",
+    "ProfileValidationError",
     "SYNTH_PREFIX",
     "WorkloadProfile",
+    "as_candidate",
+    "ensure_profile_workload",
     "generate_module",
     "get_profile",
     "make_workload",
+    "mutate_profile",
     "parse_synthetic_name",
+    "profile_digest",
     "profile_names",
+    "random_profile",
     "resolve_synthetic",
     "sweep_names",
     "synthetic_name",

@@ -1,0 +1,248 @@
+"""Profile perturbation: the move set of the adversarial search.
+
+:func:`mutate_profile` applies one random knob perturbation to a
+:class:`~repro.workloads.synthetic.profile.WorkloadProfile` and
+:func:`random_profile` samples a fresh valid profile uniformly from
+bounded knob ranges -- the restart points of the search's hill
+climber and the sample source of the generator fuzz harness.  Both
+draw every random number from a caller-supplied
+:class:`~repro.util.rng.Xorshift64`, so a fixed seed fixes the whole
+move sequence.
+
+Mutations are *valid by construction*: every knob is clamped into the
+bounds below before the profile is rebuilt, so a mutated profile never
+fails validation.  The bounds also keep candidates cheap to evaluate
+(``target_instructions`` stays within :data:`TARGET_BOUNDS`), which is
+what lets a 200-candidate search run in seconds instead of hours.
+
+Mutated profiles are renamed to their content digest
+(``cand<digest12>``) so the workload registry, trace cache, and sweep
+store all key candidates by what they *are*, not by where the search
+found them.
+"""
+
+from repro.workloads.synthetic.profile import WorkloadProfile, \
+    profile_digest
+
+#: Inclusive bounds of each scalar knob a mutation may set.
+DEPTH_BOUNDS = (1, 7)
+TRIP_BOUNDS = (2, 200)
+WEIGHT_BOUNDS = (1, 8)
+RECURSION_BOUNDS = (0, 6)
+WORKING_SET_BOUNDS = (16, 1024)
+NUM_ARRAYS_BOUNDS = (1, 4)
+NUM_NESTS_BOUNDS = (1, 10)
+BODY_OPS_BOUNDS = (1, 8)
+TARGET_BOUNDS = (20_000, 240_000)
+#: Distribution knobs carry at most this many weighted entries.
+MAX_DIST_ENTRIES = 4
+
+#: Name prefix of digest-named candidate profiles.
+CANDIDATE_PREFIX = "cand"
+
+
+def _clamp(value, bounds):
+    low, high = bounds
+    return max(low, min(high, value))
+
+
+def _jitter(draw, value, bounds, step):
+    """*value* nudged by up to +-*step*, clamped into *bounds*."""
+    return _clamp(value + draw.randint(-step, step), bounds)
+
+
+def _jitter_prob(draw, value):
+    """A probability nudged by up to +-0.15, clamped into [0, 1] and
+    rounded so digests stay stable across float formatting."""
+    nudged = value + draw.randint(-15, 15) / 100.0
+    return round(max(0.0, min(1.0, nudged)), 2)
+
+
+def _mutate_weighted_values(draw, pairs, value_fn):
+    """Resample one entry's value (via *value_fn*) in a weighted
+    distribution, possibly growing or shrinking the entry list."""
+    pairs = [list(p) for p in pairs]
+    roll = draw.randint(0, 9)
+    if roll == 0 and len(pairs) < MAX_DIST_ENTRIES:
+        pairs.append([value_fn(draw), draw.randint(*WEIGHT_BOUNDS)])
+    elif roll == 1 and len(pairs) > 1:
+        pairs.pop(draw.randint(0, len(pairs) - 1))
+    elif roll <= 5:
+        i = draw.randint(0, len(pairs) - 1)
+        pairs[i][0] = value_fn(draw)
+    else:
+        i = draw.randint(0, len(pairs) - 1)
+        pairs[i][1] = _jitter(draw, pairs[i][1], WEIGHT_BOUNDS, 3)
+    return tuple((value, weight) for value, weight in pairs)
+
+
+def _random_depth(draw):
+    return draw.randint(*DEPTH_BOUNDS)
+
+
+def _random_trip_range(draw):
+    low = draw.randint(TRIP_BOUNDS[0], 64)
+    high = draw.randint(low, min(TRIP_BOUNDS[1], low * 4))
+    return (low, high)
+
+
+def _mutate_nesting(draw, p):
+    return {"nesting_depth":
+            _mutate_weighted_values(draw, p.nesting_depth,
+                                    _random_depth)}
+
+
+def _mutate_trips(draw, p):
+    return {"trip_count":
+            _mutate_weighted_values(draw, p.trip_count,
+                                    _random_trip_range)}
+
+
+def _mutate_exit(draw, p):
+    return {"exit_irregularity": _jitter_prob(draw,
+                                              p.exit_irregularity)}
+
+
+def _mutate_branches(draw, p):
+    return {"branch_density": _jitter_prob(draw, p.branch_density)}
+
+
+def _mutate_calls(draw, p):
+    return {"call_mix": _jitter_prob(draw, p.call_mix)}
+
+
+def _mutate_recursion(draw, p):
+    return {"recursion_depth": _jitter(draw, p.recursion_depth,
+                                       RECURSION_BOUNDS, 2)}
+
+
+def _mutate_working_set(draw, p):
+    return {"working_set": _jitter(draw, p.working_set,
+                                   WORKING_SET_BOUNDS, 128)}
+
+
+def _mutate_arrays(draw, p):
+    return {"num_arrays": _jitter(draw, p.num_arrays,
+                                  NUM_ARRAYS_BOUNDS, 1)}
+
+
+def _mutate_nests(draw, p):
+    return {"num_nests": _jitter(draw, p.num_nests,
+                                 NUM_NESTS_BOUNDS, 2)}
+
+
+def _mutate_body_ops(draw, p):
+    low = _jitter(draw, p.body_ops[0], BODY_OPS_BOUNDS, 2)
+    high = _clamp(_jitter(draw, p.body_ops[1], BODY_OPS_BOUNDS, 2),
+                  (low, BODY_OPS_BOUNDS[1]))
+    return {"body_ops": (low, high)}
+
+
+def _mutate_target(draw, p):
+    return {"target_instructions":
+            _jitter(draw, p.target_instructions, TARGET_BOUNDS,
+                    30_000)}
+
+
+#: The move set, in a fixed order (determinism: a seed picks moves by
+#: index).  Each entry maps a (draw, profile) to replacement fields.
+MUTATORS = (
+    _mutate_nesting,
+    _mutate_trips,
+    _mutate_exit,
+    _mutate_branches,
+    _mutate_calls,
+    _mutate_recursion,
+    _mutate_working_set,
+    _mutate_arrays,
+    _mutate_nests,
+    _mutate_body_ops,
+    _mutate_target,
+)
+
+
+class _Draw:
+    """Minimal sampling facade over one Xorshift64."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def randint(self, low, high):
+        return self.rng.randint(low, high)
+
+
+def _candidate(fields):
+    """A digest-named candidate profile built from *fields* (a
+    :meth:`~repro.workloads.synthetic.profile.WorkloadProfile.to_dict`
+    style dict; tuples welcome where JSON would hold lists).
+
+    The digest ignores name/description, so the name is computed from
+    a throwaway labelling and then baked in.
+    """
+    fields = dict(fields)
+    fields["name"] = CANDIDATE_PREFIX
+    fields["description"] = "search candidate"
+    digest = profile_digest(WorkloadProfile.from_dict(fields))
+    fields["name"] = CANDIDATE_PREFIX + digest
+    return WorkloadProfile.from_dict(fields)
+
+
+def as_candidate(profile):
+    """*profile* renamed to its content digest (idempotent)."""
+    fields = profile.to_dict()
+    return _candidate(fields)
+
+
+def mutate_profile(profile, rng, moves=1):
+    """*profile* with *moves* random knob perturbations applied.
+
+    Draws come from *rng* (a :class:`~repro.util.rng.Xorshift64`) in a
+    fixed order; the result is always valid (knobs are clamped into
+    the module bounds, ``default_max_instructions`` is re-derived with
+    16x headroom) and digest-named.
+    """
+    draw = _Draw(rng)
+    fields = profile.to_dict()
+    for _ in range(max(1, moves)):
+        mutator = MUTATORS[draw.randint(0, len(MUTATORS) - 1)]
+        base = WorkloadProfile.from_dict({
+            **fields, "name": CANDIDATE_PREFIX,
+            "description": "search candidate"})
+        fields.update(mutator(draw, base))
+        fields["default_max_instructions"] = \
+            16 * fields["target_instructions"]
+    return _candidate(fields)
+
+
+def random_profile(rng):
+    """A fresh valid profile sampled uniformly from the knob bounds.
+
+    The hill climber's restart source and the fuzz harness's sample
+    source; always digest-named and always cheap to trace
+    (``target_instructions`` within :data:`TARGET_BOUNDS`).
+    """
+    draw = _Draw(rng)
+    depth_entries = draw.randint(1, 3)
+    trip_entries = draw.randint(1, 3)
+    target = draw.randint(*TARGET_BOUNDS)
+    low = draw.randint(*BODY_OPS_BOUNDS)
+    fields = {
+        "nesting_depth": tuple(
+            (_random_depth(draw), draw.randint(*WEIGHT_BOUNDS))
+            for _ in range(depth_entries)),
+        "trip_count": tuple(
+            (_random_trip_range(draw), draw.randint(*WEIGHT_BOUNDS))
+            for _ in range(trip_entries)),
+        "exit_irregularity": round(draw.randint(0, 100) / 100.0, 2),
+        "branch_density": round(draw.randint(0, 100) / 100.0, 2),
+        "call_mix": round(draw.randint(0, 100) / 100.0, 2),
+        "recursion_depth": draw.randint(*RECURSION_BOUNDS),
+        "working_set": draw.randint(*WORKING_SET_BOUNDS),
+        "num_arrays": draw.randint(*NUM_ARRAYS_BOUNDS),
+        "num_nests": draw.randint(*NUM_NESTS_BOUNDS),
+        "body_ops": (low, draw.randint(low, BODY_OPS_BOUNDS[1])),
+        "target_instructions": target,
+        "default_max_instructions": 16 * target,
+        "category": "int" if draw.randint(0, 1) else "fp",
+    }
+    return _candidate(fields)

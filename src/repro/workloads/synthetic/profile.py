@@ -12,26 +12,59 @@ a reproducible workload, and sweeping seeds explores the family
 Discrete distributions are tuples of ``(value, weight)`` pairs;
 trip-count distributions use ``((low, high), weight)`` pairs sampled
 uniformly inside the chosen range.  Everything is a plain frozen
-dataclass so profiles hash, compare, and validate eagerly.
+dataclass so profiles hash, compare, and validate eagerly.  Validation
+failures always name the offending field *and* the offending value
+(``nesting_depth[1]=(0, 4): ...``), so a rejected hand-written or
+mutated profile is diagnosable from the message alone.
+
+Profiles round-trip through plain dicts and canonical JSON
+(:meth:`WorkloadProfile.to_json` / :meth:`WorkloadProfile.from_json`);
+:func:`profile_digest` hashes that canonical form minus the name,
+which is how the adversarial search (:mod:`repro.search`) derives
+content-addressed names for mutated candidate profiles.
 """
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import dataclass, fields
 from typing import Tuple
 
 
+class ProfileValidationError(ValueError):
+    """A :class:`WorkloadProfile` field failed validation.
+
+    Always carries the offending ``field`` name and ``value`` so
+    callers (and error messages) can point at exactly what to fix.
+    """
+
+    def __init__(self, field, value, requirement):
+        self.field = field
+        self.value = value
+        super().__init__("%s=%r: %s" % (field, value, requirement))
+
+
 def _check_weighted(name, pairs):
-    if not pairs:
-        raise ValueError("%s must not be empty" % name)
-    for value, weight in pairs:
+    if not isinstance(pairs, tuple) or not pairs:
+        raise ProfileValidationError(
+            name, pairs, "must be a non-empty tuple of (value, weight) "
+            "pairs")
+    for i, pair in enumerate(pairs):
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            raise ProfileValidationError(
+                "%s[%d]" % (name, i), pair,
+                "must be a (value, weight) pair")
+        _value, weight = pair
         if not isinstance(weight, int) or weight <= 0:
-            raise ValueError("%s weights must be positive ints, got %r"
-                             % (name, weight))
+            raise ProfileValidationError(
+                "%s[%d]" % (name, i), pair,
+                "weights must be positive ints")
     return pairs
 
 
 def _check_probability(name, value):
-    if not 0.0 <= value <= 1.0:
-        raise ValueError("%s must be in [0, 1], got %r" % (name, value))
+    if not isinstance(value, (int, float)) \
+            or not 0.0 <= value <= 1.0:
+        raise ProfileValidationError(name, value, "must be in [0, 1]")
     return value
 
 
@@ -74,44 +107,159 @@ class WorkloadProfile:
     category: str = "int"
 
     def __post_init__(self):
-        if not self.name or any(c.isspace() for c in self.name):
-            raise ValueError("profile name must be a non-empty token")
+        if not isinstance(self.name, str) or not self.name \
+                or any(c.isspace() for c in self.name):
+            raise ProfileValidationError(
+                "name", self.name, "must be a non-empty token without "
+                "whitespace")
         _check_weighted("nesting_depth", self.nesting_depth)
-        for depth, _weight in self.nesting_depth:
+        for i, (depth, _weight) in enumerate(self.nesting_depth):
             if not isinstance(depth, int) or depth < 1:
-                raise ValueError("nesting depths must be ints >= 1")
+                raise ProfileValidationError(
+                    "nesting_depth[%d]" % i, (depth, _weight),
+                    "depths must be ints >= 1")
         _check_weighted("trip_count", self.trip_count)
-        for (low, high), _weight in self.trip_count:
-            if not 2 <= low <= high:
-                raise ValueError("trip ranges need 2 <= low <= high, "
-                                 "got (%r, %r)" % (low, high))
+        for i, (bounds, _weight) in enumerate(self.trip_count):
+            if not isinstance(bounds, tuple) or len(bounds) != 2 \
+                    or not all(isinstance(b, int) for b in bounds) \
+                    or not 2 <= bounds[0] <= bounds[1]:
+                raise ProfileValidationError(
+                    "trip_count[%d]" % i, (bounds, _weight),
+                    "ranges need ints 2 <= low <= high")
         _check_probability("exit_irregularity", self.exit_irregularity)
         _check_probability("branch_density", self.branch_density)
         _check_probability("call_mix", self.call_mix)
-        if self.recursion_depth < 0:
-            raise ValueError("recursion_depth must be >= 0")
-        if self.working_set < 4:
-            raise ValueError("working_set must be >= 4 words")
-        if self.num_arrays < 1:
-            raise ValueError("num_arrays must be >= 1")
-        if self.num_nests < 1:
-            raise ValueError("num_nests must be >= 1")
-        low, high = self.body_ops
-        if not 1 <= low <= high:
-            raise ValueError("body_ops needs 1 <= low <= high")
-        if self.target_instructions < 1_000:
-            raise ValueError("target_instructions must be >= 1000")
-        if self.default_max_instructions < 4 * self.target_instructions:
-            raise ValueError(
-                "default_max_instructions must be >= 4x "
-                "target_instructions (headroom over the generator's "
-                "expected-cost model)")
+        if not isinstance(self.recursion_depth, int) \
+                or self.recursion_depth < 0:
+            raise ProfileValidationError(
+                "recursion_depth", self.recursion_depth,
+                "must be an int >= 0")
+        if not isinstance(self.working_set, int) or self.working_set < 4:
+            raise ProfileValidationError(
+                "working_set", self.working_set,
+                "must be an int >= 4 words")
+        if not isinstance(self.num_arrays, int) or self.num_arrays < 1:
+            raise ProfileValidationError(
+                "num_arrays", self.num_arrays, "must be an int >= 1")
+        if not isinstance(self.num_nests, int) or self.num_nests < 1:
+            raise ProfileValidationError(
+                "num_nests", self.num_nests, "must be an int >= 1")
+        if not isinstance(self.body_ops, tuple) \
+                or len(self.body_ops) != 2 \
+                or not all(isinstance(b, int) for b in self.body_ops) \
+                or not 1 <= self.body_ops[0] <= self.body_ops[1]:
+            raise ProfileValidationError(
+                "body_ops", self.body_ops,
+                "needs ints 1 <= low <= high")
+        if not isinstance(self.target_instructions, int) \
+                or self.target_instructions < 1_000:
+            raise ProfileValidationError(
+                "target_instructions", self.target_instructions,
+                "must be an int >= 1000")
+        if not isinstance(self.default_max_instructions, int) \
+                or self.default_max_instructions \
+                < 4 * self.target_instructions:
+            raise ProfileValidationError(
+                "default_max_instructions", self.default_max_instructions,
+                "must be an int >= 4x target_instructions (headroom "
+                "over the generator's expected-cost model)")
         if self.category not in ("int", "fp"):
-            raise ValueError("category must be 'int' or 'fp'")
+            raise ProfileValidationError(
+                "category", self.category, "must be 'int' or 'fp'")
 
     @property
     def max_nesting(self):
         return max(depth for depth, _ in self.nesting_depth)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self):
+        """A plain-JSON-types dict that :meth:`from_dict` inverts.
+
+        Weighted distributions become nested lists (JSON has no
+        tuples); :meth:`from_dict` restores the tuple shapes, so the
+        round trip is exact.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "nesting_depth": [[d, w] for d, w in self.nesting_depth],
+            "trip_count": [[[lo, hi], w]
+                           for (lo, hi), w in self.trip_count],
+            "exit_irregularity": self.exit_irregularity,
+            "branch_density": self.branch_density,
+            "call_mix": self.call_mix,
+            "recursion_depth": self.recursion_depth,
+            "working_set": self.working_set,
+            "num_arrays": self.num_arrays,
+            "num_nests": self.num_nests,
+            "body_ops": list(self.body_ops),
+            "target_instructions": self.target_instructions,
+            "default_max_instructions": self.default_max_instructions,
+            "category": self.category,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """The exact inverse of :meth:`to_dict` (validates eagerly);
+        raises :class:`ValueError` on malformed payloads."""
+        if not isinstance(payload, dict):
+            raise ValueError("profile payload must be an object, got %r"
+                             % type(payload).__name__)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError("unknown profile field(s): %s"
+                             % ", ".join(unknown))
+        kwargs = dict(payload)
+        try:
+            if "nesting_depth" in kwargs:
+                kwargs["nesting_depth"] = tuple(
+                    (d, w) for d, w in kwargs["nesting_depth"])
+            if "trip_count" in kwargs:
+                kwargs["trip_count"] = tuple(
+                    ((int(lo), int(hi)), w)
+                    for (lo, hi), w in kwargs["trip_count"])
+            if "body_ops" in kwargs:
+                low, high = kwargs["body_ops"]
+                kwargs["body_ops"] = (low, high)
+        except (TypeError, ValueError) as exc:
+            raise ValueError("malformed profile payload: %s" % exc) \
+                from None
+        return cls(**kwargs)
+
+    def to_json(self):
+        """Canonical JSON (sorted keys, no whitespace variance)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        """The inverse of :meth:`to_json`; raises
+        :class:`ValueError` on unreadable input."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError("unreadable profile JSON: %s" % exc) \
+                from None
+        return cls.from_dict(payload)
+
+
+def profile_digest(profile):
+    """Content digest of *profile*'s knobs, ignoring name and
+    description.
+
+    Two profiles that shape identical program families digest
+    identically however they are labelled; the adversarial search
+    names mutated candidates ``cand<digest>`` so every distinct knob
+    setting gets exactly one registry name.
+    """
+    payload = profile.to_dict()
+    del payload["name"]
+    del payload["description"]
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:12]
 
 
 #: The built-in profile families; ``synth-<name>-<seed>`` resolves here.

@@ -391,3 +391,54 @@ class TestSharedMemoryPayload:
         from multiprocessing import shared_memory
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=payload.segment)
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence over the committed frontier corpus.
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+class TestFrontierBackendEquivalence:
+    """The frontier corpus sits where the paper's claims are weakest,
+    which makes it the sharpest probe of numpy-vs-stdlib drift: a
+    kernel whose backends disagree by one branch outcome flips a
+    pinned inversion or coverage threshold.  Every committed case is
+    evaluated end to end (trace, detect, simulate) under both
+    backends; the rendered metrics must be byte-identical."""
+
+    def _cases(self):
+        from repro.search.corpus import frontier_names, load_case
+        names = frontier_names()
+        assert names, "frontier corpus missing"
+        return [load_case(name) for name in names]
+
+    def test_full_evaluation_is_byte_identical(self, monkeypatch):
+        from repro.search.evaluate import evaluate_candidate
+
+        for case in self._cases():
+            def run(c=case):
+                outcome = evaluate_candidate(c.profile, c.gen_seed,
+                                             c.settings, store=None,
+                                             cache_dir=None)
+                assert outcome.error is None
+                return json.dumps(outcome.metrics.to_dict(),
+                                  sort_keys=True)
+            fast, slow = both_backends(monkeypatch, run)
+            assert fast == slow, "%s drifted across backends" \
+                % case.name
+
+    def test_detector_events_match_on_frontier_traces(self,
+                                                      monkeypatch):
+        # The coverage-collapse cases stress the detector hardest.
+        case = [c for c in self._cases()
+                if c.objective == "coverage-collapse"][0]
+        workload = get(case.name)
+        trace = workload.cf_trace()
+
+        def run():
+            d = LoopDetector()
+            index = d.run_batches(iter_batches(trace.records, 512),
+                                  trace.total_instructions)
+            return event_reprs(d.events), index_shape(index)
+        fast, slow = both_backends(monkeypatch, run)
+        assert fast == slow

@@ -7,14 +7,20 @@ from repro.core import compute_loop_statistics, loop_coverage
 from repro.lang import LangError, compile_module, module_stats
 from repro.pipeline import PipelineConfig, SimulationSession
 from repro.pipeline.cache import TraceCache, program_fingerprint
+from repro.util.rng import Xorshift64
 from repro.workloads import get, register_workload
 from repro.workloads.synthetic import (
     PROFILES,
+    ProfileValidationError,
     WorkloadProfile,
+    as_candidate,
     generate_module,
     get_profile,
     make_workload,
+    mutate_profile,
     parse_synthetic_name,
+    profile_digest,
+    random_profile,
     sweep_names,
     synthetic_name,
 )
@@ -65,23 +71,127 @@ class TestProfileValidation:
         for name in ALL_PROFILES:
             assert get_profile(name).name == name
 
-    @pytest.mark.parametrize("kwargs", (
-        dict(nesting_depth=()),
-        dict(nesting_depth=((0, 1),)),
-        dict(trip_count=(((1, 4), 1),)),
-        dict(exit_irregularity=1.5),
-        dict(branch_density=-0.1),
-        dict(recursion_depth=-1),
-        dict(working_set=2),
-        dict(num_nests=0),
-        dict(body_ops=(3, 1)),
-        dict(target_instructions=10),
-        dict(default_max_instructions=100_000),
-        dict(category="vector"),
-    ))
-    def test_invalid_profiles_rejected(self, kwargs):
+    #: one case per invalid field: (kwargs, reported field name)
+    INVALID_CASES = (
+        (dict(nesting_depth=()), "nesting_depth"),
+        (dict(nesting_depth=((2, 1), "oops")), "nesting_depth[1]"),
+        (dict(nesting_depth=((0, 1),)), "nesting_depth[0]"),
+        (dict(nesting_depth=((2, 0),)), "nesting_depth[0]"),
+        (dict(trip_count=()), "trip_count"),
+        (dict(trip_count=(((1, 4), 1),)), "trip_count[0]"),
+        (dict(trip_count=(((9, 4), 1),)), "trip_count[0]"),
+        (dict(exit_irregularity=1.5), "exit_irregularity"),
+        (dict(exit_irregularity="high"), "exit_irregularity"),
+        (dict(branch_density=-0.1), "branch_density"),
+        (dict(call_mix=2.0), "call_mix"),
+        (dict(recursion_depth=-1), "recursion_depth"),
+        (dict(working_set=2), "working_set"),
+        (dict(num_arrays=0), "num_arrays"),
+        (dict(num_nests=0), "num_nests"),
+        (dict(body_ops=(3, 1)), "body_ops"),
+        (dict(body_ops=(0, 4)), "body_ops"),
+        (dict(target_instructions=10), "target_instructions"),
+        (dict(default_max_instructions=100_000),
+         "default_max_instructions"),
+        (dict(category="vector"), "category"),
+    )
+
+    @pytest.mark.parametrize(
+        "kwargs,field", INVALID_CASES,
+        ids=["%s=%r" % next(iter(kw.items())) for kw, _ in
+             INVALID_CASES])
+    def test_invalid_profiles_rejected(self, kwargs, field):
         with pytest.raises(ValueError):
             WorkloadProfile(name="bad", **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs,field", INVALID_CASES,
+        ids=["%s=%r" % next(iter(kw.items())) for kw, _ in
+             INVALID_CASES])
+    def test_error_names_field_and_value(self, kwargs, field):
+        """Every rejection names the offending field and carries the
+        offending value, so a bad hand-written or mutated profile is
+        diagnosable from the message alone."""
+        with pytest.raises(ProfileValidationError) as excinfo:
+            WorkloadProfile(name="bad", **kwargs)
+        err = excinfo.value
+        assert err.field == field
+        assert str(err).startswith("%s=" % field)
+        assert repr(err.value) in str(err)
+
+    def test_bad_name_rejected(self):
+        for bad in ("", "two words", 7):
+            with pytest.raises(ProfileValidationError) as excinfo:
+                WorkloadProfile(name=bad)
+            assert excinfo.value.field == "name"
+
+
+class TestProfileSerialization:
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_dict_roundtrip_exact(self, profile):
+        p = get_profile(profile)
+        assert WorkloadProfile.from_dict(p.to_dict()) == p
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_json_roundtrip_exact(self, profile):
+        p = get_profile(profile)
+        assert WorkloadProfile.from_json(p.to_json()) == p
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = get_profile("baseline").to_dict()
+        payload["spice"] = 1
+        with pytest.raises(ValueError, match="spice"):
+            WorkloadProfile.from_dict(payload)
+
+    def test_from_dict_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile.from_dict("not a dict")
+        payload = get_profile("baseline").to_dict()
+        payload["trip_count"] = [[3, 1]]        # no (low, high) range
+        with pytest.raises(ValueError, match="malformed"):
+            WorkloadProfile.from_dict(payload)
+        with pytest.raises(ValueError, match="unreadable"):
+            WorkloadProfile.from_json("{nope")
+
+    def test_digest_ignores_labels_only(self):
+        base = get_profile("baseline")
+        relabelled = WorkloadProfile.from_dict(
+            {**base.to_dict(), "name": "other",
+             "description": "different words"})
+        changed = WorkloadProfile.from_dict(
+            {**base.to_dict(), "num_nests": base.num_nests + 1})
+        assert profile_digest(relabelled) == profile_digest(base)
+        assert profile_digest(changed) != profile_digest(base)
+
+
+class TestMutation:
+    def test_mutations_always_valid_and_digest_named(self):
+        rng = Xorshift64(99)
+        profile = as_candidate(get_profile("baseline"))
+        for _ in range(200):
+            profile = mutate_profile(profile, rng)
+            # constructing it *is* the validation (frozen dataclass
+            # validates eagerly); the name must embed the digest
+            assert profile.name == "cand" + profile_digest(profile)
+            assert profile.default_max_instructions \
+                >= 4 * profile.target_instructions
+
+    def test_mutation_deterministic(self):
+        base = as_candidate(get_profile("irregular"))
+        a = mutate_profile(base, Xorshift64(5), moves=3)
+        b = mutate_profile(base, Xorshift64(5), moves=3)
+        assert a == b
+
+    def test_random_profiles_valid_and_deterministic(self):
+        rng_a, rng_b = Xorshift64(11), Xorshift64(11)
+        a = [random_profile(rng_a) for _ in range(5)]
+        b = [random_profile(rng_b) for _ in range(5)]
+        assert [p.name for p in a] == [p.name for p in b]
+        assert len({p.name for p in a}) > 1     # the stream moves
+
+    def test_as_candidate_idempotent(self):
+        once = as_candidate(get_profile("baseline"))
+        assert as_candidate(once) == once
 
 
 class TestDeterminism:
