@@ -1,5 +1,7 @@
 """The analysis multiplexer: one replay feeds every registered pass."""
 
+import time
+
 
 class AnalysisSuite:
     """An ordered collection of :class:`~repro.analysis.base.Analysis`
@@ -19,6 +21,7 @@ class AnalysisSuite:
             self.add(analysis)
         self._record_consumers = ()
         self._event_consumers = ()
+        self._feed_seconds = None   # per-pass timing; obs-enabled only
 
     def add(self, analysis, name=None):
         """Register a pass (optionally under *name*); returns it."""
@@ -55,6 +58,7 @@ class AnalysisSuite:
 
     def begin(self, ctx):
         from repro.analysis.base import Analysis
+        from repro.obs import collector as obs
 
         # Hot-path pruning: records/events only reach passes that
         # actually consume them (oracle passes override finish only).
@@ -63,6 +67,14 @@ class AnalysisSuite:
         self._event_consumers = tuple(
             a for a in self._analyses
             if type(a).feed is not Analysis.feed)
+        # Per-pass feed timing only exists while a collector is active;
+        # the disabled fan-out below is byte-for-byte the untimed loop.
+        self._feed_seconds = None
+        if obs.active() is not None:
+            self._pass_names = {
+                id(a): name
+                for a, name in zip(self._analyses, self._names)}
+            self._feed_seconds = {name: 0.0 for name in self._names}
         for analysis in self._analyses:
             analysis.begin(ctx)
 
@@ -74,8 +86,17 @@ class AnalysisSuite:
         """Fan one :class:`~repro.trace.batch.RecordBatch` out to every
         record consumer (each falls back to per-record feeding unless
         it overrides :meth:`~repro.analysis.base.Analysis.feed_batch`)."""
+        timings = self._feed_seconds
+        if timings is None:
+            for analysis in self._record_consumers:
+                analysis.feed_batch(batch)
+            return
+        clock = time.perf_counter
+        names = self._pass_names
         for analysis in self._record_consumers:
+            t0 = clock()
             analysis.feed_batch(batch)
+            timings[names[id(analysis)]] += clock() - t0
 
     def feed(self, event):
         for analysis in self._event_consumers:
@@ -99,6 +120,16 @@ class AnalysisSuite:
         consumers = self._event_consumers
         if not consumers:
             return
+        timings = self._feed_seconds
+        if timings is not None:
+            clock = time.perf_counter
+            names = self._pass_names
+            for event in events:
+                for analysis in consumers:
+                    t0 = clock()
+                    analysis.feed(event)
+                    timings[names[id(analysis)]] += clock() - t0
+            return
         if len(consumers) == 1:
             feed = consumers[0].feed
             for event in events:
@@ -113,8 +144,20 @@ class AnalysisSuite:
             analysis.abort(ctx)
 
     def finish(self, ctx):
-        for analysis in self._analyses:
+        if self._feed_seconds is None:
+            for analysis in self._analyses:
+                analysis.finish(ctx)
+            return
+        from repro.obs import collector as obs
+
+        clock = time.perf_counter
+        for analysis, name in zip(self._analyses, self._names):
+            t0 = clock()
             analysis.finish(ctx)
+            obs.add("analysis.finish_seconds.%s" % name, clock() - t0)
+        for name, seconds in self._feed_seconds.items():
+            if seconds:
+                obs.add("analysis.feed_seconds.%s" % name, seconds)
 
     def results(self):
         """Every pass's :meth:`result`, in registration order."""

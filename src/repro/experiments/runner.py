@@ -396,6 +396,13 @@ def _main(argv):
                         help="run the analysis under cProfile and "
                              "print the top N functions by cumulative "
                              "time after the results (default N: 25)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a run manifest to PATH (summary "
+                             "JSON; span/counter events stream to "
+                             "PATH with a .jsonl suffix)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the per-stage timing breakdown "
+                             "after the results")
     parser.add_argument("--format", choices=("text", "csv", "json"),
                         default="text",
                         help="result rendering (default text)")
@@ -455,43 +462,42 @@ def _main(argv):
     if args.profile_run is not None and args.profile_run < 1:
         parser.error("--profile-run expects a positive line count")
 
-    session = SimulationSession(config)
-    try:
-        suite, _ = build_suite(selected, overrides)
-    except ValueError as exc:
-        parser.error(str(exc))
-    profiler = None
-    if args.profile_run is not None:
-        import cProfile
-        profiler = cProfile.Profile()
-    start = time.time()
-    if profiler is not None:
-        profiler.enable()
-    all_results = session.analyze(suite)
-    if profiler is not None:
-        profiler.disable()
-    analyze_seconds = time.time() - start
-    for name, results in zip(selected, all_results):
-        if not isinstance(results, list):
-            results = [results]
-        _emit(name, results, args.format, args.output_dir)
-        # All experiments share the single replay, so per-experiment
-        # wall time no longer exists; the total is reported below.
-        print("[%s done]" % name)
-        print()
-    print("[%d experiment(s), %d workload(s), %d replay(s), analyzed "
-          "in %.1fs]" % (len(selected), len(session.workloads),
-                         session.stats.replays, analyze_seconds))
-    if profiler is not None:
-        # Caveat: cProfile's tracing overhead inflates tight Python
-        # loops severalfold; read this as "where the time goes", not
-        # as absolute wall time.
-        import pstats
-        print()
-        print("[cProfile: top %d by cumulative time]" % args.profile_run)
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("cumulative")
-        stats.print_stats(args.profile_run)
+    from repro.obs import RunObserver, collector as obs
+
+    observer = RunObserver(
+        metrics_path=args.metrics, timeline=args.timeline,
+        profile_lines=args.profile_run, argv=["runner"] + list(argv),
+        command="run", copy_dirs=(config.cache_dir,))
+    with observer:
+        with obs.span("setup", experiments=len(selected)):
+            session = SimulationSession(config)
+            try:
+                suite, _ = build_suite(selected, overrides)
+            except ValueError as exc:
+                parser.error(str(exc))
+        start = time.time()
+        with observer.profiled():
+            with obs.span("analyze"):
+                all_results = session.analyze(suite)
+        analyze_seconds = time.time() - start
+        with obs.span("emit", format=args.format):
+            for name, results in zip(selected, all_results):
+                if not isinstance(results, list):
+                    results = [results]
+                _emit(name, results, args.format, args.output_dir)
+                # All experiments share the single replay, so
+                # per-experiment wall time no longer exists; the total
+                # is reported below.
+                print("[%s done]" % name)
+                print()
+        print("[%d experiment(s), %d workload(s), %d replay(s), "
+              "analyzed in %.1fs]"
+              % (len(selected), len(session.workloads),
+                 session.stats.replays, analyze_seconds))
+        observer.record_session(session)
+    observer.finalize(extra_meta={
+        "experiments": list(selected),
+        "analyze_seconds": round(analyze_seconds, 3)})
     return 0
 
 

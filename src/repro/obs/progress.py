@@ -1,0 +1,62 @@
+"""The tty-gated live progress line.
+
+The sweep orchestrator can run for minutes; on an interactive terminal
+the CLI shows a single self-overwriting stderr line::
+
+    cells 12/24 (8.3/s, ETA 1.4s)
+
+and stays **completely silent when stderr is not a tty** -- piped and
+redirected runs (CI, logs) see nothing, so no golden output changes.
+The line is carriage-return overwritten in place and cleared with a
+newline by :meth:`ProgressLine.close` once the run finishes.
+"""
+
+import sys
+import time
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """A ``done/total (rate, ETA)`` line on *stream* when it is a tty.
+
+    *clock* is injectable for tests; *label* names the unit.  All
+    methods are no-ops when the stream is not a tty (or *total* is not
+    positive), so callers never need to gate on interactivity
+    themselves.
+    """
+
+    def __init__(self, total, label="cells", stream=None,
+                 clock=time.monotonic):
+        self.total = total
+        self.label = label
+        self.stream = sys.stderr if stream is None else stream
+        self.clock = clock
+        isatty = getattr(self.stream, "isatty", None)
+        self.enabled = bool(total > 0 and isatty and isatty())
+        self._start = clock()
+        self._width = 0
+
+    def update(self, done):
+        """Redraw the line for *done* finished units."""
+        if not self.enabled:
+            return
+        elapsed = self.clock() - self._start
+        if elapsed > 0 and done > 0:
+            rate = done / elapsed
+            eta = (self.total - done) / rate
+            detail = "%.1f/s, ETA %.1fs" % (rate, eta)
+        else:
+            detail = "starting"
+        text = "%s %d/%d (%s)" % (self.label, done, self.total, detail)
+        pad = max(0, self._width - len(text))
+        self._width = len(text)
+        self.stream.write("\r" + text + " " * pad)
+        self.stream.flush()
+
+    def close(self):
+        """Terminate the line (newline) if anything was drawn."""
+        if self.enabled and self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._width = 0

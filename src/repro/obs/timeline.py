@@ -1,0 +1,102 @@
+"""Per-stage timeline rollups and the post-run text breakdown.
+
+Spans form a forest (each carries its parent id); the rollup
+aggregates them by *name path* -- ``analyze/replay`` is every span
+named ``replay`` whose parent chain renders as ``analyze`` -- so a
+manifest with one ``replay`` span per workload shows a single
+``replay`` stage with its count and summed seconds.  ``runner
+--timeline`` renders the rollup as an indented table with percent of
+wall-clock; ``tools/obs_report.py`` renders and diffs the same
+structure from saved manifests.
+"""
+
+__all__ = ["render_timeline", "span_coverage", "stage_rollup"]
+
+
+def stage_rollup(manifest):
+    """Aggregate *manifest*'s spans by name path.
+
+    Returns a list of ``{"path", "depth", "count", "seconds"}`` dicts
+    ordered by first start time within the tree (parents before
+    children, siblings by first appearance).
+    """
+    spans = manifest["spans"]
+    by_id = {span["id"]: span for span in spans}
+
+    def path_of(span):
+        parts = [span["name"]]
+        parent = span.get("parent")
+        seen = {span["id"]}
+        while parent is not None and parent in by_id \
+                and parent not in seen:
+            seen.add(parent)
+            parent_span = by_id[parent]
+            parts.append(parent_span["name"])
+            parent = parent_span.get("parent")
+        return "/".join(reversed(parts))
+
+    stages = {}
+    for span in spans:
+        path = path_of(span)
+        stage = stages.get(path)
+        if stage is None:
+            stages[path] = stage = {
+                "path": path, "depth": path.count("/"), "count": 0,
+                "seconds": 0.0, "first_start": span.get("start", 0.0),
+            }
+        stage["count"] += 1
+        stage["seconds"] = round(stage["seconds"] + span["seconds"], 6)
+        start = span.get("start", 0.0)
+        if start < stage["first_start"]:
+            stage["first_start"] = start
+
+    def sort_key(stage):
+        # Parents sort before children; siblings by first start, then
+        # path (a tiebreak that keeps equal-start stages stable).
+        parts = stage["path"].split("/")
+        prefixes = ["/".join(parts[:i + 1]) for i in range(len(parts))]
+        return tuple((stages[p]["first_start"], p) for p in prefixes
+                     if p in stages)
+
+    ordered = sorted(stages.values(), key=sort_key)
+    for stage in ordered:
+        del stage["first_start"]
+    return ordered
+
+
+def span_coverage(manifest):
+    """Fraction of wall-clock covered by top-level spans (0.0-1.0).
+
+    The manifest acceptance bar: summed root-span seconds must account
+    for >= 90% of wall-clock, or the instrumentation is missing a
+    stage.
+    """
+    wall = manifest.get("wall_seconds") or 0.0
+    if wall <= 0:
+        return 0.0
+    covered = sum(span["seconds"] for span in manifest["spans"]
+                  if span.get("parent") is None)
+    return round(min(1.0, covered / wall), 4)
+
+
+def render_timeline(manifest):
+    """The post-run per-stage text breakdown of *manifest*."""
+    stages = manifest.get("stages") or stage_rollup(manifest)
+    wall = manifest.get("wall_seconds") or 0.0
+    coverage = manifest.get("span_coverage")
+    if coverage is None:
+        coverage = span_coverage(manifest)
+    lines = ["timeline: %.3fs wall, top-level spans cover %.1f%%"
+             % (wall, 100.0 * coverage)]
+    if not stages:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    width = max(len("  " * s["depth"] + s["path"].rsplit("/", 1)[-1])
+                for s in stages)
+    for stage in stages:
+        label = "  " * stage["depth"] + stage["path"].rsplit("/", 1)[-1]
+        share = 100.0 * stage["seconds"] / wall if wall > 0 else 0.0
+        lines.append("  %-*s  %9.3fs  %5.1f%%  x%d"
+                     % (width, label, stage["seconds"], share,
+                        stage["count"]))
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ import hashlib
 import os
 
 from repro.cpu.machine import pack_program
+from repro.obs import collector as obs
 from repro.trace.io import (
     BatchTraceWriter,
     TRACE_FORMAT_VERSION,
@@ -139,6 +140,7 @@ class TraceCache:
         os.makedirs(self.root, exist_ok=True)
         path = self.path(name, scale, max_instructions, fingerprint)
         dump_cf_trace(trace, path, version=TRACE_FORMAT_VERSION)
+        self._note_written(path)
         return path
 
     def store_stream(self, tracer, name, scale, max_instructions,
@@ -159,4 +161,13 @@ class TraceCache:
             for batch in tracer.batches():
                 writer.write_batch(batch)
             writer.close(tracer.total_instructions, tracer.halted)
+        self._note_written(path)
         return path
+
+    @staticmethod
+    def _note_written(path):
+        if obs.active() is not None:
+            try:
+                obs.add("cache.bytes_written", os.path.getsize(path))
+            except OSError:
+                pass

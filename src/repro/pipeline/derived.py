@@ -29,6 +29,8 @@ at all; every consumer treats the missing store as a permanent miss.
 import json
 import os
 
+from repro.obs import collector as obs
+
 #: Bump when any cached computation changes meaning (engine rules,
 #: CLS semantics, dataspec accounting, result field sets).
 DERIVED_SCHEMA_VERSION = 1
@@ -71,7 +73,10 @@ class DerivedStore:
 
     def get(self, key):
         """The cached value under *key*, or ``None``."""
-        return self._load().get(key)
+        value = self._load().get(key)
+        obs.add("derived.hits" if value is not None else
+                "derived.misses")
+        return value
 
     def put(self, key, value):
         """Record *value* under *key* (persisted at :meth:`flush`)."""

@@ -25,9 +25,11 @@ The legacy per-experiment surface (:meth:`trace`, :meth:`index`,
 """
 
 import dataclasses
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.detector import LoopDetector
+from repro.obs import collector as obs
 from repro.pipeline import worker
 from repro.pipeline.cache import TraceCache, program_fingerprint
 from repro.pipeline.derived import DerivedCache
@@ -205,23 +207,34 @@ class SimulationSession:
         limit = self.config.limit_for(workload)
         trace = self._traces.get(name)
         stream = None
+        source = "memory"
         if trace is None and self._cache is not None:
             stream = self._cache.open_batches(name, self.scale, limit,
                                               self._fingerprint(name))
         if trace is None and stream is None:
             trace = self.trace(name)
+            source = "traced"
 
         if trace is not None:
             batches = iter_batches(trace.records)
             total = trace.total_instructions
         else:
             self._mark(name, cached=True)
+            source = "cache"
+            if obs.active() is not None:
+                try:
+                    obs.add("cache.bytes_read", os.path.getsize(
+                        self._cache.path(name, self.scale, limit,
+                                         self._fingerprint(name))))
+                except OSError:
+                    pass
             header, cached_batches = stream
             batches = _guard_stream(cached_batches)
             total = header.total_instructions
 
         try:
-            index = self._replay(workload, suite, batches, total)
+            index = self._replay(workload, suite, batches, total,
+                                 source=source)
         except _CorruptStream:
             # The cache entry was truncated past its (valid) header:
             # drop the partially fed state and replay from a fresh
@@ -232,7 +245,8 @@ class SimulationSession:
             trace = self.trace(name)
             index = self._replay(workload, suite,
                                  iter_batches(trace.records),
-                                 trace.total_instructions)
+                                 trace.total_instructions,
+                                 source="retraced")
         self._indexes.setdefault(name, index)
 
     def _context(self, workload, total, detector=None):
@@ -255,7 +269,7 @@ class SimulationSession:
             cls_capacity=self.config.cls_capacity, detector=detector,
             timing=timing, derived=derived)
 
-    def _replay(self, workload, suite, batches, total):
+    def _replay(self, workload, suite, batches, total, source="memory"):
         """One full batched record-stream replay into *suite*; returns
         the loop index built by the canonical detector along the way.
 
@@ -289,19 +303,29 @@ class SimulationSession:
                 def feed_events(events):
                     for event in events:
                         suite_feed(event)
-        for batch in batches:
-            if wants_records:
-                feed_batch(batch)
-            if timing_feed is not None:
-                timing_feed(batch)
-            events = detect_batch(batch)
+        collector = obs.active()
+        n_batches = n_records = 0
+        with obs.span("replay", workload=workload.name, source=source):
+            for batch in batches:
+                if collector is not None:
+                    n_batches += 1
+                    n_records += len(batch)
+                if wants_records:
+                    feed_batch(batch)
+                if timing_feed is not None:
+                    timing_feed(batch)
+                events = detect_batch(batch)
+                if events and feed_events is not None:
+                    feed_events(events)
+            events = detector.finish(total)
             if events and feed_events is not None:
                 feed_events(events)
-        events = detector.finish(total)
-        if events and feed_events is not None:
-            feed_events(events)
-        ctx.index = detector.index(total)
-        suite.finish(ctx)
+            ctx.index = detector.index(total)
+            with obs.span("finish", workload=workload.name):
+                suite.finish(ctx)
+        if collector is not None:
+            collector.add("replay.batches", n_batches)
+            collector.add("replay.records", n_records)
         if ctx.derived is not None:
             ctx.derived.flush()
         return ctx.index
@@ -336,16 +360,24 @@ class SimulationSession:
         results = {}
         if pooled:
             cache_dir = self.config.cache_dir
+            collector = obs.active()
+            observe = collector is not None
             with ProcessPoolExecutor(
                     max_workers=min(self.config.jobs,
                                     len(pooled))) as pool:
                 futures = [
                     pool.submit(worker.trace_workload, name, self.scale,
-                                limit, cache_dir, shared=True)
+                                limit, cache_dir, shared=True,
+                                observe=observe)
                     for name, limit in pooled]
+                # Futures are drained in submission order (the
+                # configured workload order), so worker obs events
+                # merge deterministically however tracing interleaved.
                 for future in futures:
-                    name, payload = future.result()
+                    name, payload, *events = future.result()
                     results[name] = payload
+                    if events and events[0] and collector is not None:
+                        collector.absorb(events[0], workload=name)
         # Absorb in configured order so memoization and any downstream
         # iteration see a deterministic sequence.
         for name, limit in missing:
@@ -416,9 +448,10 @@ class SimulationSession:
         """Trace inline through the shared worker entry point; returns
         the in-memory trace directly (no disk round-trip)."""
         self._mark(name, cached=False)
-        _, trace = worker.trace_workload(
-            self._by_name[name], self.scale, limit,
-            self.config.cache_dir, materialize=True)
+        with obs.span("trace", workload=name, mode="inline"):
+            _, trace = worker.trace_workload(
+                self._by_name[name], self.scale, limit,
+                self.config.cache_dir, materialize=True)
         if memoize:
             self._traces[name] = trace
         return trace

@@ -25,6 +25,7 @@ with no disk round-trip.
 from typing import NamedTuple
 
 from repro.cpu.tracer import ChunkedCFTracer
+from repro.obs import collector as obs
 from repro.pipeline.cache import TraceCache, program_fingerprint
 from repro.trace.io import TRACE_FORMAT_VERSION, dumps_cf_trace, \
     loads_cf_trace
@@ -45,7 +46,8 @@ class SharedTracePayload(NamedTuple):
 
 
 def trace_workload(workload, scale=1, max_instructions=None,
-                   cache_dir=None, materialize=False, shared=False):
+                   cache_dir=None, materialize=False, shared=False,
+                   observe=False):
     """Trace one workload (a registered name or a Workload object).
 
     Returns ``(name, payload)`` where *payload* is:
@@ -58,9 +60,32 @@ def trace_workload(workload, scale=1, max_instructions=None,
       (falling back to plain bytes when no segment can be created);
     * otherwise the serialized v3 trace bytes.
 
+    With ``observe=True`` (pooled callers whose parent session has an
+    active obs collector) the work runs under a worker-local
+    :class:`~repro.obs.collector.Collector` and the return value grows
+    a third element -- its :meth:`~repro.obs.collector.Collector.
+    export` -- which rides the existing result pipe alongside the
+    payload for the parent to :meth:`~repro.obs.collector.Collector.
+    absorb`.
+
     ``max_instructions=None`` uses the workload's default budget,
     mirroring the cache key computation in the session.
     """
+    if observe:
+        label = workload if isinstance(workload, str) else workload.name
+        # Under the fork start method the child inherits the parent's
+        # active collector; it is a dead copy here -- drop it so the
+        # worker-local one can activate.
+        obs.deactivate()
+        collector = obs.activate(obs.Collector())
+        try:
+            with obs.span("trace", workload=label, mode="pool"):
+                name, payload = trace_workload(
+                    workload, scale, max_instructions, cache_dir,
+                    materialize=materialize, shared=shared)
+        finally:
+            obs.deactivate()
+        return name, payload, collector.export()
     if isinstance(workload, str):
         import repro.workloads.suite  # noqa: F401  (registers the suite)
         from repro.workloads.base import get
@@ -135,6 +160,7 @@ def load_trace_payload(payload):
     """
     if isinstance(payload, SharedTracePayload):
         from multiprocessing import shared_memory
+        obs.add("shm.bytes", payload.size)
         segment = shared_memory.SharedMemory(name=payload.segment)
         try:
             return loads_cf_trace(segment.buf[:payload.size])

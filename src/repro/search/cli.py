@@ -131,6 +131,9 @@ def search_main(argv=None):
     parser.add_argument("--format", choices=("text", "csv", "json"),
                         default="text")
     parser.add_argument("--output-dir", default=None, metavar="DIR")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a run manifest to PATH (summary "
+                             "JSON + .jsonl event stream)")
     parser.add_argument("--list", action="store_true",
                         help="list objectives and the committed "
                              "frontier corpus")
@@ -157,8 +160,16 @@ def search_main(argv=None):
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
 
+    from repro.obs import RunObserver
+
     store = None if args.no_store else SweepStore(args.store)
     cache_dir = None if args.no_cache else args.cache_dir
+    observer = RunObserver(
+        metrics_path=args.metrics,
+        argv=["runner", "search"]
+        + list(sys.argv[1:] if argv is None else argv),
+        command="search",
+        copy_dirs=(None if args.no_store else args.store, cache_dir))
 
     def progress(index, outcome, score):
         print("[%d/%d] %s score=%s cells: %d run, %d restored"
@@ -168,9 +179,10 @@ def search_main(argv=None):
               file=sys.stderr)
 
     try:
-        winners, stats = run_search(spec, store=store,
-                                    cache_dir=cache_dir,
-                                    progress=progress)
+        with observer:
+            winners, stats = run_search(spec, store=store,
+                                        cache_dir=cache_dir,
+                                        progress=progress)
     except SweepStoreError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1
@@ -184,6 +196,13 @@ def search_main(argv=None):
              stats.failures, stats.accepted, stats.restarts,
              stats.executed_cells, stats.restored_cells),
           file=sys.stderr)
+
+    observer.finalize(extra_meta={
+        "search_id": spec.sweep_id, "objective": spec.objective,
+        "evaluated": stats.evaluated, "memo_hits": stats.memo_hits,
+        "failures": stats.failures, "accepted": stats.accepted,
+        "restarts": stats.restarts,
+        "best_score": stats.best_score})
 
     _emit("search-%s" % spec.objective, [_winner_table(spec, winners,
                                                        stats)],

@@ -24,6 +24,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import collector as obs
 from repro.search.evaluate import evaluate_candidate
 from repro.search.objectives import get_objective
 from repro.util.rng import Xorshift64
@@ -126,18 +127,27 @@ def run_search(spec, store=None, cache_dir=None, progress=None):
         memo_key = (profile.name, gen_seed)
         if memo_key in memo:
             stats.memo_hits += 1
+            obs.add("search.memo_hits")
             score, winner = memo[memo_key]
         else:
-            outcome = evaluate_candidate(profile, gen_seed,
-                                         spec.settings, store=store,
-                                         cache_dir=cache_dir)
+            with obs.span("search.evaluate", candidate=profile.name,
+                          index=index):
+                outcome = evaluate_candidate(profile, gen_seed,
+                                             spec.settings, store=store,
+                                             cache_dir=cache_dir)
             stats.evaluated += 1
             stats.executed_cells += outcome.executed
             stats.restored_cells += outcome.restored
+            collector = obs.active()
+            if collector is not None:
+                collector.add("search.candidates")
+                collector.add("search.cells_executed", outcome.executed)
+                collector.add("search.cells_restored", outcome.restored)
             if store is not None:
                 store.record_sweep(spec, outcome.cell_keys)
             if outcome.metrics is None:
                 stats.failures += 1
+                obs.add("search.failures")
                 score, winner = None, None
             else:
                 score = objective.score(outcome.metrics,
@@ -148,6 +158,8 @@ def run_search(spec, store=None, cache_dir=None, progress=None):
                     frontier=objective.frontier(outcome.metrics,
                                                 spec.settings),
                     metrics=outcome.metrics, eval_index=index)
+                obs.point("search.score", score,
+                          candidate=outcome.name, index=index)
             memo[memo_key] = (score, winner)
             if progress is not None:
                 progress(index, outcome, score)

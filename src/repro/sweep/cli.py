@@ -182,38 +182,61 @@ def sweep_main(argv=None):
     parser.add_argument("--dry-run", action="store_true",
                         help="plan and register the sweep without "
                              "executing cells")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a run manifest to PATH (summary "
+                             "JSON + .jsonl event stream)")
     _add_store_arg(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    from repro.obs import ProgressLine, RunObserver
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    observer = RunObserver(
+        metrics_path=args.metrics,
+        argv=["runner", "sweep"]
+        + list(sys.argv[1:] if argv is None else argv),
+        command="sweep", copy_dirs=(args.store, cache_dir))
     store = SweepStore(args.store)
+    line = None
     try:
-        if args.resume is not None:
-            if args.experiment is not None or args.workloads is not None \
-                    or args.profile is not None:
-                parser.error("--resume re-executes a stored grid; do "
-                             "not combine it with grid flags")
-            spec = store.spec_for(args.resume)
-        else:
-            if args.experiment is None:
-                parser.error("name an experiment (%s) or use --resume"
-                             % "|".join(SWEEP_EXPERIMENTS))
-            spec = _build_spec(args, parser)
+        with observer:
+            if args.resume is not None:
+                if args.experiment is not None \
+                        or args.workloads is not None \
+                        or args.profile is not None:
+                    parser.error("--resume re-executes a stored grid; "
+                                 "do not combine it with grid flags")
+                spec = store.spec_for(args.resume)
+            else:
+                if args.experiment is None:
+                    parser.error("name an experiment (%s) or use "
+                                 "--resume"
+                                 % "|".join(SWEEP_EXPERIMENTS))
+                spec = _build_spec(args, parser)
 
-        cache_dir = None if args.no_cache else args.cache_dir
+            def progress(name, finished, total):
+                # On an interactive stderr the live cells line replaces
+                # the per-checkpoint stdout chatter; piped runs keep
+                # the historical lines (and no control characters).
+                nonlocal line
+                if line is None:
+                    line = ProgressLine(total)
+                line.update(finished)
+                if not line.enabled:
+                    print("[%s stored, %d/%d cell(s)]"
+                          % (name, finished, total))
 
-        def progress(name, finished, total):
-            print("[%s stored, %d/%d cell(s)]" % (name, finished,
-                                                  total))
-
-        stats = run_sweep(spec, store, jobs=args.jobs,
-                          cache_dir=cache_dir, progress=progress,
-                          dry_run=args.dry_run)
+            stats = run_sweep(spec, store, jobs=args.jobs,
+                              cache_dir=cache_dir, progress=progress,
+                              dry_run=args.dry_run)
     except SweepStoreError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1
     finally:
+        if line is not None:
+            line.close()
         store.close()
     print("sweep %s: %s over %d workload(s), %d cell(s)"
           % (stats.sweep_id, spec.experiment, len(spec.workloads),
@@ -222,6 +245,10 @@ def sweep_main(argv=None):
     print("planned %d, skipped %d, executed %d, failed %d"
           % (stats.planned, stats.skipped, stats.executed,
              stats.failed))
+    observer.finalize(extra_meta={
+        "sweep_id": stats.sweep_id, "experiment": spec.experiment,
+        "planned": stats.planned, "skipped": stats.skipped,
+        "executed": stats.executed, "failed": stats.failed})
     if args.dry_run:
         print("dry run: no cells executed")
     elif stats.failed:

@@ -27,6 +27,7 @@ import json
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     wait
 
+from repro.obs import collector as obs
 from repro.sweep.spec import KIND_LOOPSTATS, KIND_SIM, expand_cells
 
 
@@ -162,7 +163,26 @@ def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
     the fault-injection seam the resume tests use, and the CLI's
     progress line.  *dry_run* plans and registers the sweep but
     executes nothing.
+
+    With an obs collector active the whole run is a ``sweep`` span,
+    each store commit a ``sweep.checkpoint`` child span, and the run's
+    plan/skip/execute/fail/checkpoint tallies land in the
+    ``sweep.cells_*`` / ``sweep.checkpoints`` counters.
     """
+    with obs.span("sweep", experiment=spec.experiment, jobs=jobs):
+        stats = _run_sweep(spec, store, jobs, cache_dir, progress,
+                           dry_run)
+    collector = obs.active()
+    if collector is not None:
+        collector.add("sweep.cells_planned", stats.planned)
+        collector.add("sweep.cells_resumed", stats.skipped)
+        collector.add("sweep.cells_executed", stats.executed)
+        collector.add("sweep.cells_failed", stats.failed)
+        collector.add("sweep.checkpoints", stats.checkpoints)
+    return stats
+
+
+def _run_sweep(spec, store, jobs, cache_dir, progress, dry_run):
     cells = expand_cells(spec)
     sweep_id = store.record_sweep(spec, [c.key for c in cells])
     done = store.done_keys([c.key for c in cells])
@@ -192,7 +212,9 @@ def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
                 stats.failed += 1
             else:
                 stats.executed += 1
-        store.put_cells(rows)
+        with obs.span("sweep.checkpoint", workload=name,
+                      rows=len(rows)):
+            store.put_cells(rows)
         stats.checkpoints += 1
         if progress is not None:
             progress(name, stats.executed + stats.failed, len(missing))
@@ -211,7 +233,9 @@ def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
                        error="%s: %s" % (type(exc).__name__, exc))
             rows.append(row)
             stats.failed += 1
-        store.put_cells(rows)
+        with obs.span("sweep.checkpoint", workload=name,
+                      rows=len(rows)):
+            store.put_cells(rows)
         stats.checkpoints += 1
         if progress is not None:
             progress(name, stats.executed + stats.failed, len(missing))

@@ -38,6 +38,7 @@ import os
 from array import array
 
 from repro.isa.instructions import InstrKind
+from repro.obs import collector as _obs
 
 _K_BRANCH = int(InstrKind.BRANCH)
 _K_JUMP = int(InstrKind.JUMP)
@@ -79,6 +80,15 @@ def backend():
     return "numpy" if HAVE_NUMPY else "stdlib"
 
 
+def _count(name):
+    """Per-kernel invocation counter (``kernel.<fn>``), a no-op unless
+    an obs collector is active.  Kernels run once per batch, not per
+    record, so the disabled check is far off the per-record path."""
+    collector = _obs.active()
+    if collector is not None:
+        collector.add("kernel." + name)
+
+
 # -- column views ------------------------------------------------------------
 
 def _i64(column):
@@ -108,6 +118,7 @@ def _i8(column):
 def backward_branch_mask(batch):
     """``bytes`` mask: 1 where the record is a conditional branch with
     a backward (or self) target, taken or not."""
+    _count("backward_branch_mask")
     n = len(batch)
     if n == 0:
         return b""
@@ -128,6 +139,7 @@ def backward_branch_mask(batch):
 
 def taken_mask(batch):
     """``bytes`` mask: 1 where the record committed taken."""
+    _count("taken_mask")
     n = len(batch)
     if n == 0:
         return b""
@@ -139,6 +151,7 @@ def taken_mask(batch):
 def branch_columns(batch):
     """``(pcs, takens)`` of the conditional-branch records only, as
     plain lists of Python ints (``takens`` is 0/1), in stream order."""
+    _count("branch_columns")
     n = len(batch)
     if n == 0:
         return [], []
@@ -162,6 +175,7 @@ def closing_branch_pcs(batch):
     """The set of pcs observed as *taken backward* conditional branches
     in this batch (the loop-closing candidates of the branch-prediction
     baseline)."""
+    _count("closing_branch_pcs")
     n = len(batch)
     if n == 0:
         return set()
@@ -193,6 +207,7 @@ def classcost_extras(batch, cost_by_kind, other, total):
     cumulative extra cost after each, ready to extend the model's
     prefix arrays.
     """
+    _count("classcost_extras")
     n = len(batch)
     if n == 0:
         return [], [], total
@@ -229,6 +244,7 @@ def per_pc_runs(pcs, values):
     per-pc predictors (bimodal) O(#runs) instead of O(#occurrences); it
     is also a compact per-branch behaviour summary for characterization.
     """
+    _count("per_pc_runs")
     out = {}
     if HAVE_NUMPY and not isinstance(pcs, list):
         pcs = pcs.tolist() if hasattr(pcs, "tolist") else list(pcs)

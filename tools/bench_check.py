@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Compare a fresh run manifest against the committed benchmark file.
+
+::
+
+    runner all --metrics /tmp/run.json
+    python tools/bench_check.py --manifest /tmp/run.json
+    python tools/bench_check.py --manifest /tmp/run.json --advisory
+
+Reads the manifest a ``runner ... --metrics`` run wrote, picks the
+committed ``headline_runner_all`` numbers for the manifest's kernel
+backend out of ``BENCH_kernels.json``, and judges the run:
+
+* **warm wall time** must stay within ``--tolerance`` (a fraction;
+  default 0.25) of the committed ``warm_seconds``.  The committed
+  numbers came from a quiet machine; CI boxes are noisy, hence the
+  generous default -- tighten it for local A/B runs;
+* **span coverage** must be at least ``--min-coverage`` (default
+  0.9): top-level spans that account for less of the wall mean an
+  uninstrumented stage crept in.
+
+Exit status: 0 all checks passed, 1 a threshold was exceeded (``--
+advisory`` demotes this to a warning + exit 0 -- CI smoke mode), 2
+the manifest or baseline is missing/malformed (never demoted: a
+schema break is a bug regardless of machine noise).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.manifest import ManifestError, load_manifest  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_kernels.json")
+
+
+def load_baseline(path):
+    """The ``headline_runner_all`` table of *path*; raises
+    :class:`ManifestError` when unusable."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ManifestError("cannot read baseline %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise ManifestError("baseline %s: invalid JSON (%s)"
+                            % (path, exc))
+    headline = data.get("headline_runner_all") \
+        if isinstance(data, dict) else None
+    if not isinstance(headline, dict):
+        raise ManifestError("baseline %s: no headline_runner_all table"
+                            % path)
+    return headline
+
+
+def check(manifest, headline, tolerance, min_coverage):
+    """Evaluate the thresholds; returns ``(failures, report_lines)``."""
+    failures = []
+    lines = []
+    backend = manifest["meta"].get("kernel_backend", "numpy")
+    wall = manifest["wall_seconds"]
+    entry = headline.get(backend)
+    if not isinstance(entry, dict) \
+            or not isinstance(entry.get("warm_seconds"), (int, float)):
+        raise ManifestError("baseline has no warm_seconds for backend "
+                            "%r" % backend)
+    budget = entry["warm_seconds"] * (1.0 + tolerance)
+    verdict = "ok" if wall <= budget else "REGRESSION"
+    lines.append("wall: %.3fs vs committed %s warm %.3fs "
+                 "(budget %.3fs at +%d%%) -- %s"
+                 % (wall, backend, entry["warm_seconds"], budget,
+                    round(100 * tolerance), verdict))
+    if wall > budget:
+        failures.append("wall %.3fs exceeds budget %.3fs"
+                        % (wall, budget))
+
+    coverage = manifest.get("span_coverage")
+    if isinstance(coverage, (int, float)):
+        verdict = "ok" if coverage >= min_coverage else "REGRESSION"
+        lines.append("span coverage: %.1f%% (floor %.1f%%) -- %s"
+                     % (100 * coverage, 100 * min_coverage, verdict))
+        if coverage < min_coverage:
+            failures.append("span coverage %.3f below floor %.3f"
+                            % (coverage, min_coverage))
+    else:
+        failures.append("manifest has no span_coverage")
+
+    replays = manifest["counters"].get("pipeline.replays", 0)
+    lines.append("pipeline: %d replay(s), %d cache hit(s), "
+                 "%d traced" % (replays,
+                                manifest["counters"].get(
+                                    "pipeline.cache_hits", 0),
+                                manifest["counters"].get(
+                                    "pipeline.traced", 0)))
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Judge a fresh --metrics manifest against the "
+                    "committed benchmark numbers.")
+    parser.add_argument("--manifest", required=True,
+                        help="manifest written by runner ... --metrics")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed benchmark JSON "
+                             "(default %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed fractional slowdown over the "
+                             "committed warm seconds (default 0.25)")
+    parser.add_argument("--min-coverage", type=float, default=0.9,
+                        metavar="FRAC",
+                        help="required top-level span coverage of "
+                             "wall-clock (default 0.9)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but exit 0 (schema "
+                             "errors still exit 2)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    try:
+        manifest = load_manifest(args.manifest)
+        headline = load_baseline(args.baseline)
+        failures, lines = check(manifest, headline, args.tolerance,
+                                args.min_coverage)
+    except ManifestError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    print("\n".join(lines))
+    if failures:
+        for failure in failures:
+            print("%s: %s" % ("advisory" if args.advisory
+                              else "FAIL", failure),
+                  file=sys.stderr)
+        return 0 if args.advisory else 1
+    print("bench check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Render (and diff) run manifests written by ``runner --metrics``.
+
+::
+
+    python tools/obs_report.py run.json
+    python tools/obs_report.py run.json --diff other.json
+
+Rendering shows the run's metadata, the per-stage timeline, the
+counter and gauge maps, and a digest of recorded points.  ``--diff``
+compares two manifests stage by stage and counter by counter --
+seconds and percentages for stages, absolute deltas for counters --
+which is how "what got slower between these two runs?" is answered
+without spreadsheet surgery.
+
+Exit status: 0 on success, 2 when a manifest is missing, malformed,
+or schema-incompatible (:class:`repro.obs.manifest.ManifestError`).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.manifest import ManifestError, load_manifest  # noqa: E402
+from repro.obs.timeline import render_timeline, stage_rollup  # noqa: E402
+
+
+def _fmt_value(value):
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def render_report(manifest, source):
+    """The full text report of one manifest, as a list of lines."""
+    meta = manifest["meta"]
+    lines = ["manifest: %s" % source]
+    argv = meta.get("argv")
+    lines.append("  command: %s%s"
+                 % (meta.get("command", "?"),
+                    "  (%s)" % " ".join(argv) if argv else ""))
+    lines.append("  backend: %s, python %s"
+                 % (meta.get("kernel_backend", "?"),
+                    meta.get("python", "?")))
+    for key in sorted(meta):
+        if key in ("argv", "command", "kernel_backend", "python"):
+            continue
+        lines.append("  %s: %s" % (key, _fmt_value(meta[key])))
+    lines.append("")
+    lines.append(render_timeline(manifest))
+    if manifest["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in manifest["counters"])
+        for name in sorted(manifest["counters"]):
+            lines.append("  %-*s  %s"
+                         % (width, name,
+                            _fmt_value(manifest["counters"][name])))
+    if manifest["gauges"]:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(manifest["gauges"]):
+            lines.append("  %s = %s"
+                         % (name, _fmt_value(manifest["gauges"][name])))
+    points = manifest["points"]
+    if points:
+        by_name = {}
+        for sample in points:
+            by_name.setdefault(sample.get("name", "?"),
+                               []).append(sample.get("value"))
+        lines.append("")
+        lines.append("points:")
+        for name in sorted(by_name):
+            values = [v for v in by_name[name]
+                      if isinstance(v, (int, float))]
+            digest = "%d sample(s)" % len(by_name[name])
+            if values:
+                digest += (", min %s, max %s, last %s"
+                           % (_fmt_value(min(values)),
+                              _fmt_value(max(values)),
+                              _fmt_value(values[-1])))
+            lines.append("  %s: %s" % (name, digest))
+    return lines
+
+
+def render_diff(base, base_src, other, other_src):
+    """Stage/counter comparison of two manifests, as a list of lines."""
+    lines = ["diff: %s -> %s" % (base_src, other_src)]
+    base_wall = base["wall_seconds"]
+    other_wall = other["wall_seconds"]
+    delta = other_wall - base_wall
+    lines.append("  wall: %.3fs -> %.3fs (%+.3fs%s)"
+                 % (base_wall, other_wall, delta,
+                    ", %+.1f%%" % (100.0 * delta / base_wall)
+                    if base_wall > 0 else ""))
+
+    base_stages = {s["path"]: s for s in (base.get("stages")
+                                          or stage_rollup(base))}
+    other_stages = {s["path"]: s for s in (other.get("stages")
+                                           or stage_rollup(other))}
+    paths = sorted(set(base_stages) | set(other_stages))
+    if paths:
+        lines.append("  stages:")
+        width = max(len(p) for p in paths)
+        for path in paths:
+            a = base_stages.get(path)
+            b = other_stages.get(path)
+            if a is None:
+                lines.append("    %-*s  (added)      %9.3fs"
+                             % (width, path, b["seconds"]))
+            elif b is None:
+                lines.append("    %-*s  (removed)   -%9.3fs"
+                             % (width, path, a["seconds"]))
+            else:
+                delta = b["seconds"] - a["seconds"]
+                pct = (", %+.1f%%" % (100.0 * delta / a["seconds"])
+                       if a["seconds"] > 0 else "")
+                lines.append("    %-*s  %9.3fs -> %9.3fs (%+.3fs%s)"
+                             % (width, path, a["seconds"], b["seconds"],
+                                delta, pct))
+
+    names = sorted(set(base["counters"]) | set(other["counters"]))
+    changed = [name for name in names
+               if base["counters"].get(name) != other["counters"].get(name)]
+    if changed:
+        lines.append("  counters (changed):")
+        width = max(len(n) for n in changed)
+        for name in changed:
+            a = base["counters"].get(name, 0)
+            b = other["counters"].get(name, 0)
+            lines.append("    %-*s  %s -> %s (%+g)"
+                         % (width, name, _fmt_value(a), _fmt_value(b),
+                            b - a))
+    else:
+        lines.append("  counters: identical")
+    return lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Render or diff run manifests written by "
+                    "'runner --metrics'.")
+    parser.add_argument("manifest", help="manifest JSON path")
+    parser.add_argument("--diff", default=None, metavar="OTHER",
+                        help="compare against a second manifest "
+                             "instead of rendering")
+    args = parser.parse_args(argv)
+
+    try:
+        manifest = load_manifest(args.manifest)
+        if args.diff is not None:
+            other = load_manifest(args.diff)
+    except ManifestError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.diff is not None:
+        lines = render_diff(manifest, args.manifest, other, args.diff)
+    else:
+        lines = render_report(manifest, args.manifest)
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,15 +44,21 @@ from repro.util.fmt import format_table                      # noqa: E402
 
 
 class Entry:
-    """One cache file plus whatever its header reveals."""
+    """One cache file plus whatever its header reveals.
+
+    *stat* is the caller's ``os.stat_result`` when it already has one
+    (:func:`scan` hands over the ``DirEntry`` stat), so listing a
+    directory stats each file exactly once.
+    """
 
     __slots__ = ("path", "name", "size", "mtime", "version", "records",
                  "total", "error")
 
-    def __init__(self, path):
+    def __init__(self, path, stat=None):
         self.path = path
         self.name = os.path.basename(path)
-        stat = os.stat(path)
+        if stat is None:
+            stat = os.stat(path)
         self.size = stat.st_size
         self.mtime = stat.st_mtime
         self.version = None
@@ -97,15 +103,41 @@ def scan(root):
     """Every ``*.cft`` entry under *root*, oldest first."""
     if not os.path.isdir(root):
         return []
-    entries = [Entry(os.path.join(root, name))
-               for name in sorted(os.listdir(root))
-               if name.endswith(".cft")]
+    with os.scandir(root) as it:
+        entries = [Entry(item.path, item.stat())
+                   for item in it if item.name.endswith(".cft")]
     entries.sort(key=lambda e: e.mtime)
     return entries
 
 
 def _fmt_count(value):
     return "?" if value is None else "%d" % value
+
+
+def _last_run_summary(directory, names):
+    """The one-line counter digest of the ``last-run-manifest.json``
+    an instrumented run (``--metrics``) dropped into *directory*, or
+    ``None`` when there is no readable manifest.
+
+    *names* maps counter names to printed labels, in print order;
+    counters the manifest lacks render as 0.
+    """
+    from repro.obs.manifest import LAST_RUN_MANIFEST, ManifestError, \
+        load_manifest
+
+    path = os.path.join(directory, LAST_RUN_MANIFEST)
+    if not os.path.isfile(path):
+        return None
+    try:
+        manifest = load_manifest(path)
+    except (OSError, ValueError, ManifestError):
+        return None     # corrupt digest: no summary beats a crash
+    counters = manifest.get("counters", {})
+    parts = ["%s %s" % (label, _fmt_count(counters.get(name, 0)))
+             for name, label in names]
+    return ("last instrumented run (%s): %s"
+            % (manifest.get("meta", {}).get("command", "?"),
+               ", ".join(parts)))
 
 
 def cmd_ls(root, _args):
@@ -134,6 +166,14 @@ def cmd_ls(root, _args):
         summary += (", %d decoded (ratio %.3f)"
                     % (raw_total, total / raw_total))
     print(summary)
+    last = _last_run_summary(root, (
+        ("pipeline.cache_hits", "cache hits"),
+        ("pipeline.traced", "misses (traced)"),
+        ("pipeline.replays", "replays"),
+        ("cache.bytes_read", "bytes read"),
+        ("cache.bytes_written", "bytes written")))
+    if last is not None:
+        print(last)
     return 0
 
 
@@ -159,20 +199,21 @@ def cmd_prune(root, args):
                 removed += 1
             continue
         kept.append(entry)
+    remaining = sum(e.size for e in kept)
     if args.max_bytes is not None:
-        total = sum(e.size for e in kept)
         for entry in kept:              # oldest first
-            if total <= args.max_bytes:
+            if remaining <= args.max_bytes:
                 break
             if _unlink(entry, "over budget", args.dry_run):
-                total -= entry.size
+                remaining -= entry.size
                 removed += 1
     verb = "would prune" if args.dry_run else "pruned"
     print("%s %d entr%s" % (verb, removed,
                             "y" if removed == 1 else "ies"))
     if not args.dry_run:
-        print("%d bytes remain in %s"
-              % (sum(e.size for e in scan(root)), root))
+        # Tallied from the entries kept above -- no second directory
+        # scan (and re-stat of every entry) just to print a total.
+        print("%d bytes remain in %s" % (remaining, root))
     return 0
 
 
@@ -193,6 +234,14 @@ def cmd_sweeps_ls(store, _args):
         print("sweep store %s is empty" % store.root)
         return 0
     print(sweep_overview(store).render())
+    last = _last_run_summary(store.root, (
+        ("sweep.cells_planned", "planned"),
+        ("sweep.cells_resumed", "resumed"),
+        ("sweep.cells_executed", "executed"),
+        ("sweep.cells_failed", "failed"),
+        ("sweep.checkpoints", "checkpoints")))
+    if last is not None:
+        print(last)
     return 0
 
 
