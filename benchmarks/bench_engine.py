@@ -1,0 +1,194 @@
+"""Fused-engine and parallel-search throughput: the PR 10 headline.
+
+Two measurements, written to ``BENCH_engine.json`` at the repository
+root (override with ``--output``):
+
+* **fused grid vs per-config**: every benchmark workload is priced
+  over a (policy x TU count x timing) grid twice -- N independent
+  :func:`~repro.core.speculation.engine.simulate` calls, then one
+  :func:`~repro.core.speculation.grid.simulate_grid` call -- with the
+  results compared config by config (``mismatches`` must be 0) and
+  cell throughput recorded for both.  The committed gate
+  (``tools/bench_check.py --engine``) requires the fused speedup to
+  stay above 3x.
+* **parallel candidate search**: one search spec runs at ``--jobs 1``
+  and at ``--jobs N``; the winner tables must be identical (the
+  trajectory is jobs-invariant by construction) and the parallel run
+  reports its speculation structure -- pooled submissions, speculation
+  hits, peak in-flight futures -- from the observability counters.
+  Wall-clock scaling is recorded too, but only judged on multi-core
+  hosts (``cpu_count`` is in the output; a 1-core container cannot
+  overlap anything).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --workloads swim,go --jobs 4 --budget 16
+"""
+
+import argparse
+import itertools
+import json
+import os
+import sys
+import time
+
+from repro.core.speculation.engine import simulate
+from repro.core.speculation.grid import simulate_grid
+from repro.obs.collector import Collector, activate, deactivate
+from repro.pipeline.session import SimulationSession
+from repro.search.loop import run_search
+from repro.search.objectives import EvalSettings
+from repro.search.spec import SearchSpec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_WORKLOADS = ("applu", "go", "gcc", "tomcatv")
+
+#: The per-workload configuration grid: the sensitivity sweep's shape
+#: (the paper's three summary policies, the TU axis, and the ideal leg
+#: plus the spawn-cost overhead legs a real sensitivity run prices).
+POLICIES = ("idle", "str", "str(3)")
+TU_COUNTS = (1, 2, 4, 8)
+TIMINGS = (None, "overhead:spawn=0", "overhead:spawn=2",
+           "overhead:spawn=8", "overhead:spawn=8,squash=4,promote=1")
+
+
+def bench_fused(workloads):
+    session = SimulationSession(cache_dir=None, workloads=workloads)
+    indexes = {name: session.index(name) for name in workloads}
+    configs = [(tus, policy, timing) for policy, tus, timing in
+               itertools.product(POLICIES, TU_COUNTS, TIMINGS)]
+
+    start = time.perf_counter()
+    per_config = {
+        name: [simulate(indexes[name], num_tus=tus, policy=policy,
+                        name=name, timing=timing)
+               for tus, policy, timing in configs]
+        for name in workloads}
+    per_config_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fused = {name: simulate_grid(indexes[name], configs, name=name)
+             for name in workloads}
+    fused_s = time.perf_counter() - start
+
+    mismatches = sum(
+        1 for name in workloads
+        for ref, got in zip(per_config[name], fused[name])
+        if ref.state() != got.state())
+    cells = len(configs) * len(workloads)
+    return {
+        "workloads": list(workloads),
+        "configs_per_workload": len(configs),
+        "cells": cells,
+        "mismatches": mismatches,
+        "per_config": {
+            "seconds": round(per_config_s, 3),
+            "cells_per_second": round(cells / per_config_s, 1)
+            if per_config_s else 0.0,
+        },
+        "grid": {
+            "seconds": round(fused_s, 3),
+            "cells_per_second": round(cells / fused_s, 1)
+            if fused_s else 0.0,
+        },
+        "speedup": round(per_config_s / fused_s, 2)
+        if fused_s else 0.0,
+    }
+
+
+def bench_search(jobs, budget, seed):
+    spec = SearchSpec(objective="coverage-collapse", budget=budget,
+                      seed=seed, stall_limit=6,
+                      settings=EvalSettings(scale=2))
+
+    start = time.perf_counter()
+    serial_winners, serial_stats = run_search(spec, cache_dir=None)
+    serial_s = time.perf_counter() - start
+
+    collector = activate(Collector())
+    try:
+        start = time.perf_counter()
+        pool_winners, pool_stats = run_search(spec, cache_dir=None,
+                                              jobs=jobs)
+        pool_s = time.perf_counter() - start
+    finally:
+        deactivate()
+
+    def table(winners):
+        return [(w.name, w.gen_seed, round(w.score, 12), w.eval_index,
+                 w.frontier) for w in winners]
+
+    identical = table(serial_winners) == table(pool_winners) \
+        and (serial_stats.evaluated, serial_stats.accepted,
+             serial_stats.best_score) \
+        == (pool_stats.evaluated, pool_stats.accepted,
+            pool_stats.best_score)
+    return {
+        "objective": spec.objective,
+        "budget": budget,
+        "seed": seed,
+        "jobs": jobs,
+        "identical_winners": identical,
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "candidates_per_second":
+                round(serial_stats.evaluated / serial_s, 2)
+                if serial_s else 0.0,
+        },
+        "parallel": {
+            "seconds": round(pool_s, 3),
+            "speedup_vs_serial": round(serial_s / pool_s, 2)
+            if pool_s else 0.0,
+            "pooled_submits":
+                collector.counters.get("search.pooled_submits", 0),
+            "speculation_hits":
+                collector.counters.get("search.speculation_hits", 0),
+            "peak_inflight":
+                collector.gauges.get("search.peak_inflight", 0),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the fused grid engine and the parallel "
+                    "candidate search.")
+    parser.add_argument("--workloads",
+                        default=",".join(DEFAULT_WORKLOADS),
+                        metavar="A,B,...")
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="pool width of the parallel search run "
+                             "(default %(default)s)")
+    parser.add_argument("--budget", type=int, default=12,
+                        help="search candidate budget "
+                             "(default %(default)s)")
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_engine.json"),
+                        help="result file (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    results = {
+        "benchmark": "fused grid engine vs per-config simulate; "
+                     "parallel candidate search vs serial",
+        "cpu_count": os.cpu_count() or 1,
+        "fused": bench_fused(workloads),
+        "search": bench_search(args.jobs, args.budget, args.seed),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from repro.analysis.passes import (
     effective_timing,
     shared_dataspec_stats,
     shared_simulate,
+    shared_simulate_many,
     shared_table_sim,
 )
 from repro.analysis.registry import (
@@ -42,5 +43,6 @@ __all__ = [
     "register_analysis",
     "shared_dataspec_stats",
     "shared_simulate",
+    "shared_simulate_many",
     "shared_table_sim",
 ]

@@ -7,7 +7,8 @@ simulations, and the shared full-trace data-speculation study.
 
 from repro.core.events import ExecutionEnd, SingleIteration
 from repro.core.loopstats import LoopStatistics
-from repro.core.speculation import simulate, simulate_infinite
+from repro.core.speculation import simulate, simulate_grid, \
+    simulate_infinite
 from repro.core.dataspec import DataSpeculationAnalyzer
 from repro.core.dataspec.stats import DataSpecStats
 from repro.core.tables import POLICY_LRU, TableHitRatioSimulator
@@ -121,14 +122,22 @@ class SpeculationPass(Analysis):
         self.by_name = {}
 
     def finish(self, ctx):
-        timing = effective_timing(ctx, self.timing)
         if self.num_tus is None:
-            result = simulate_infinite(ctx.index, name=ctx.name,
-                                       timing=timing)
+            result = simulate_infinite(
+                ctx.index, name=ctx.name,
+                timing=effective_timing(ctx, self.timing))
+        elif not self.kwargs:
+            # Default-configuration cells go through the shared memo,
+            # so several SpeculationPass instances in one suite batch
+            # with the experiments sweeping the same cells (and share
+            # the derived store both ways).
+            result = shared_simulate(ctx, self.num_tus, self.policy,
+                                     timing=self.timing)
         else:
             result = simulate(ctx.index, num_tus=self.num_tus,
                               policy=self.policy, name=ctx.name,
-                              timing=timing, **self.kwargs)
+                              timing=effective_timing(ctx, self.timing),
+                              **self.kwargs)
         self.by_name[ctx.name] = result
 
     def result(self):
@@ -198,6 +207,55 @@ def shared_simulate(ctx, num_tus, policy, timing=None):
                 ctx.derived.put(dkey, result.state())
         ctx.shared[key] = result
     return result
+
+
+def shared_simulate_many(ctx, specs):
+    """Batch form of :func:`shared_simulate`: every ``(num_tus,
+    policy, timing)`` in *specs*, resolved through one fused
+    :func:`~repro.core.speculation.grid.simulate_grid` call.
+
+    Memo keys, derived-store cell keys, and results are identical to
+    calling :func:`shared_simulate` once per spec -- this is purely the
+    fast path for experiments that sweep whole per-workload config
+    grids (sensitivity, figure6/figure7, table2).  Returns the results
+    in spec order; duplicate specs are welcome and share one cell.
+    """
+    results = []
+    missing = []        # (memo key, dkey, config) of cells to compute
+    pending = {}        # memo key -> slots awaiting the grid result
+    for num_tus, policy, timing in specs:
+        timing = effective_timing(ctx, timing)
+        if timing is None:
+            key = (_SIMULATE_KEY, num_tus, policy)
+        else:
+            key = (_SIMULATE_KEY, num_tus, policy, timing.key())
+        result = ctx.shared.get(key)
+        if result is None and key not in pending:
+            dkey = derived_key(*key) + "/c%d" % ctx.cls_capacity
+            result = _restore_result(ctx.derived, dkey)
+            if result is None:
+                missing.append((key, dkey, (num_tus, policy, timing)))
+                pending[key] = []
+            else:
+                ctx.shared[key] = result
+        if result is None:
+            pending[key].append(len(results))
+            results.append(None)
+        else:
+            results.append(result)
+    if missing:
+        computed = simulate_grid(ctx.index,
+                                 [config for _, _, config in missing],
+                                 name=ctx.name)
+        if ctx.derived is not None:
+            ctx.derived.put_cells(
+                (dkey, result.state())
+                for (_, dkey, _), result in zip(missing, computed))
+        for (key, _, _), result in zip(missing, computed):
+            ctx.shared[key] = result
+            for slot in pending[key]:
+                results[slot] = result
+    return results
 
 
 def _restore_result(derived, dkey):

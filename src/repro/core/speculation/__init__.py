@@ -10,6 +10,7 @@ from repro.core.speculation.engine import (
     simulate,
     simulate_infinite,
 )
+from repro.core.speculation.grid import grid_tables, simulate_grid
 from repro.core.speculation.metrics import SpeculationResult
 from repro.core.speculation.policies import (
     IdlePolicy,
@@ -27,7 +28,9 @@ __all__ = [
     "SpecThread",
     "SpeculationEngine",
     "simulate",
+    "simulate_grid",
     "simulate_infinite",
+    "grid_tables",
     "SpeculationResult",
     "IdlePolicy",
     "OracleAllPolicy",

@@ -1,0 +1,423 @@
+"""Fused multi-configuration speculation: one prepared walk, N configs.
+
+:func:`simulate_grid` prices N ``(num_tus, policy, timing)``
+configurations over one :class:`~repro.core.detector.LoopIndex` and
+returns results bit-identical to N independent
+:func:`~repro.core.speculation.engine.simulate` calls (the grid
+equivalence suite pins this across every policy, timing model, and the
+frontier corpus).
+
+Why a grid engine beats N engine runs
+-------------------------------------
+
+The per-config walk in :class:`~repro.core.speculation.engine.
+SpeculationEngine` spends most of its time on work that is *identical
+for every configuration*:
+
+* **The LET prediction stream.**  With the default unbounded loop
+  execution table, the table's state evolution depends only on the
+  event list -- it updates at execution ends and single iterations,
+  never on the policy, TU count, or timing model.  The grid therefore
+  walks the event list **once**, records the prediction each iteration
+  event would see (:func:`grid_tables`), and every fused configuration
+  reads the shared columns instead of maintaining its own table and
+  predictors.
+* **Irrelevant events.**  With the prediction stream precomputed, a
+  fused IDLE/STR configuration is only affected by iteration starts
+  and by the execution ends of loops it is actively speculating; the
+  per-execution end positions (also in :func:`grid_tables`) let the
+  walk leap over everything else.  STR(i) additionally visits
+  execution starts/ends for its nesting stack.
+* **Timing dispatch.**  The ideal and overhead models price an advance
+  as the distance and progress as ``min(elapsed, cap)``; the fused
+  walk inlines both, eliminating one bound-method call per event.
+
+When fusion pays vs the per-config fallback
+-------------------------------------------
+
+A configuration is **fused** when all of the following hold -- the
+conditions under which the shared prediction stream is *provably* the
+state every independent engine run would compute:
+
+* finite ``num_tus`` (the infinite-TU oracle study walks differently);
+* an IDLE, STR, or STR(i) policy (exactly the policies whose spawn
+  decisions read nothing but idle TUs and the LET prediction);
+* an ideal or overhead timing model (position-independent rates; the
+  width and class-cost models price advances positionally and keep
+  their method-call seam).
+
+Everything else -- bounded LETs (LRU evictions depend on lookup
+order), disable tables (cross-run mutable state), oracle policies,
+record-fed timing models -- drops to the existing per-config engine,
+one config at a time.  The split is per *config*, not per call: one
+``simulate_grid`` call may fuse 40 cells and fall back for 8, and the
+``engine.fused_cells`` / ``engine.fallback_cells`` counters report
+exactly that split when an observability collector is active.
+"""
+
+from array import array
+
+from repro.core.speculation.metrics import SpeculationResult
+from repro.core.speculation.policies import (
+    IdlePolicy,
+    StrIPolicy,
+    StrPolicy,
+    make_policy,
+)
+from repro.obs import collector as obs
+from repro.timing import make_timing
+from repro.timing.models import IdealTiming, OverheadTiming
+
+__all__ = ["grid_tables", "simulate_grid"]
+
+
+def grid_tables(index):
+    """The config-invariant walk tables of *index*, built once.
+
+    Returns ``(pred_known, pred_count, end_pos)``:
+
+    * ``pred_known[i]``/``pred_count[i]`` -- the LET prediction an
+      unbounded-table engine would read at iteration event ``i``
+      (``pred_known[i] == 0`` means no prediction, the STR policies'
+      IDLE fallback);
+    * ``end_pos`` -- per ``exec_id``, the event position of its
+      :class:`~repro.core.events.ExecutionEnd`.
+
+    Cached on the index next to its event columns; every fused
+    configuration of every grid call over this index shares one copy.
+    """
+    cols = index.columns()
+    cached = getattr(index, "_grid_tables", None)
+    if cached is not None and cached[0] is cols:
+        return cached[1]
+    etypes = cols.etypes
+    loops = cols.loops
+    exec_ids = cols.exec_ids
+    auxs = cols.auxs
+    n = len(etypes)
+    pred_known = bytearray(n)
+    pred_count = array("q", bytes(8 * n))
+    end_pos = {}
+    # loop -> [last count, stride, confidence]: the inlined form of
+    # LoopHistoryTable + IterationCountPredictor for an unbounded
+    # table (no evictions, so lookups cannot perturb state and the
+    # stream is a pure function of the event list).
+    table = {}
+    for i in range(n):
+        etype = etypes[i]
+        if etype == 0:                          # EV_ITERATION
+            entry = table.get(loops[i])
+            if entry is not None:
+                pred_known[i] = 1
+                last, stride, confidence = entry
+                if stride is not None and confidence >= 2:
+                    pred_count[i] = last + stride
+                else:
+                    pred_count[i] = last
+        elif etype == 2:                        # EV_EXEC_END
+            end_pos[exec_ids[i]] = i
+            value = auxs[i]
+            entry = table.get(loops[i])
+            if entry is None:
+                table[loops[i]] = [value, None, 0]
+            else:
+                stride = value - entry[0]
+                if entry[1] is not None:
+                    if stride == entry[1]:
+                        if entry[2] < 3:
+                            entry[2] += 1
+                    elif entry[2] > 0:
+                        entry[2] -= 1
+                entry[0] = value
+                entry[1] = stride
+        elif etype == 3:                        # EV_SINGLE
+            entry = table.get(loops[i])
+            if entry is None:
+                table[loops[i]] = [1, None, 0]
+            else:
+                stride = 1 - entry[0]
+                if entry[1] is not None:
+                    if stride == entry[1]:
+                        if entry[2] < 3:
+                            entry[2] += 1
+                    elif entry[2] > 0:
+                        entry[2] -= 1
+                entry[0] = 1
+                entry[1] = stride
+    tables = (pred_known, pred_count, end_pos)
+    index._grid_tables = (cols, tables)
+    return tables
+
+
+def _fusable(num_tus, policy, model):
+    ptype = type(policy)
+    mtype = type(model)
+    return (isinstance(num_tus, int) and num_tus >= 1
+            and (ptype is IdlePolicy or ptype is StrPolicy
+                 or ptype is StrIPolicy)
+            and (mtype is IdealTiming or mtype is OverheadTiming))
+
+
+def _run_fused(index, tables, num_tus, policy, model, name,
+               count_waiting):
+    """One fused configuration over the shared tables; bit-identical
+    to ``SpeculationEngine(...).run(index, name)``.
+
+    Speculative threads are ``(loop, exec_id, iteration, start_seq,
+    end_seq, spawn_time, spawn_seq)`` tuples.  Clock advances at
+    skipped events telescope into the next handled event (the built-in
+    models price an advance as the distance, so segmenting the walk
+    differently cannot change any total).
+    """
+    cols = index.columns()
+    etypes = cols.etypes
+    seqs = cols.seqs
+    loops = cols.loops
+    exec_ids = cols.exec_ids
+    auxs = cols.auxs
+    next_non_iteration = cols.next_non_iteration
+    next_iteration_after = cols.next_iteration_after
+    pred_known, pred_count, end_pos = tables
+    end_pos_get = end_pos.get
+    executions = index.executions
+    total_instructions = index.total_instructions
+
+    if type(model) is OverheadTiming:
+        spawn_c = model.spawn
+        squash_c = model.squash
+        promote_c = model.promote
+    else:
+        spawn_c = squash_c = promote_c = 0
+
+    result = SpeculationResult(name, num_tus, policy.name)
+    result.total_instructions = total_instructions
+    result.timing_name = model.name
+
+    nesting_limit = policy.nesting_limit
+    is_idle = not policy.needs_prediction
+    threads = {}
+    threads_get = threads.get
+    stack = []
+    budget = num_tus - 1
+    spec_count = 0
+    now = 0
+    pos = 0
+    overhead = 0
+    speculation_events = 0
+    threads_spawned = 0
+    promoted = 0
+    squashed_misspec = 0
+    squashed_policy = 0
+    credit_waiting = 0
+    credit_executing = 0
+    instr_to_verif = 0
+    resolved = 0
+
+    n = len(etypes)
+    i = 0
+    while i < n:
+        etype = etypes[i]
+        if etype == 0:                          # EV_ITERATION
+            exec_id = exec_ids[i]
+            tlist = threads_get(exec_id)
+            if tlist is None and spec_count >= budget:
+                # Saturated and untracked: nothing can happen until a
+                # tracked execution's next iteration start (promotion)
+                # or its end (squash) -- for STR(i), also until the
+                # next execution boundary moves the nesting stack.
+                if nesting_limit is None:
+                    j = n
+                    for tracked in threads:
+                        k = next_iteration_after(tracked, i)
+                        if k < j:
+                            j = k
+                        k = end_pos_get(tracked, n)
+                        if i < k < j:
+                            j = k
+                else:
+                    j = next_non_iteration[i + 1]
+                    for tracked in threads:
+                        k = next_iteration_after(tracked, i)
+                        if k < j:
+                            j = k
+                i = j
+                continue
+            seq = seqs[i]
+            if seq > pos:
+                now += seq - pos
+                pos = seq
+            if tlist is not None and tlist[0][2] == auxs[i]:
+                thread = tlist.pop(0)
+                if not tlist:
+                    del threads[exec_id]
+                spec_count -= 1
+                elapsed = now - thread[5]
+                start_seq = thread[3]
+                end_seq = thread[4]
+                if end_seq is not None:
+                    cap = end_seq - start_seq
+                else:
+                    cap = total_instructions - start_seq
+                executed = elapsed if elapsed < cap else cap
+                new_pos = start_seq + executed
+                if new_pos > pos:
+                    pos = new_pos
+                promoted += 1
+                resolved += 1
+                instr_to_verif += seq - thread[6]
+                credit_waiting += elapsed
+                credit_executing += executed
+                if promote_c:
+                    now += promote_c
+                    overhead += promote_c
+            if spec_count < budget:
+                idle = budget - spec_count
+                rec = executions[exec_id]
+                iter_seqs = rec.iter_seqs
+                total = rec.iterations
+                if total is None:
+                    total = len(iter_seqs) + 1
+                tlist = threads_get(exec_id)
+                last_covered = tlist[-1][2] if tlist else auxs[i]
+                while last_covered < total \
+                        and iter_seqs[last_covered - 1] <= pos:
+                    last_covered += 1
+                if is_idle or not pred_known[i]:
+                    count = idle
+                else:
+                    count = pred_count[i] - last_covered
+                    if count > idle:
+                        count = idle
+                if count > 0:
+                    if spawn_c:
+                        cost = spawn_c * count
+                        now += cost
+                        overhead += cost
+                    speculation_events += 1
+                    if tlist is None:
+                        tlist = threads[exec_id] = []
+                    loop = loops[i]
+                    for j in range(last_covered + 1,
+                                   last_covered + 1 + count):
+                        if j <= total:
+                            start = iter_seqs[j - 2]
+                            end = iter_seqs[j - 1] if j < total else None
+                        else:
+                            start = None
+                            end = None
+                        tlist.append((loop, exec_id, j, start, end,
+                                      now, seq))
+                        threads_spawned += 1
+                    spec_count += count
+        elif etype == 2:                        # EV_EXEC_END
+            exec_id = exec_ids[i]
+            tlist = threads.pop(exec_id, None)
+            if tlist is not None:
+                seq = seqs[i]
+                if seq > pos:
+                    now += seq - pos
+                    pos = seq
+                for thread in tlist:
+                    squashed_misspec += 1
+                    resolved += 1
+                    instr_to_verif += seq - thread[6]
+                spec_count -= len(tlist)
+                if squash_c:
+                    cost = squash_c * len(tlist)
+                    now += cost
+                    overhead += cost
+            if nesting_limit is not None:
+                for idx in range(len(stack) - 1, -1, -1):
+                    if stack[idx][0] == exec_id:
+                        del stack[idx]
+                        break
+        elif etype == 1 and nesting_limit is not None:  # EV_EXEC_START
+            stack.append((exec_ids[i], loops[i]))
+            # STR(i): squash the outermost speculated loop once more
+            # than nesting_limit non-speculated loops nest inside it.
+            for idx in range(len(stack)):
+                tl = threads_get(stack[idx][0])
+                if not tl:
+                    continue
+                nested_unspeculated = 0
+                for inner in range(idx + 1, len(stack)):
+                    if not threads_get(stack[inner][0]):
+                        nested_unspeculated += 1
+                if nested_unspeculated > nesting_limit:
+                    seq = seqs[i]
+                    for thread in tl:
+                        squashed_policy += 1
+                        resolved += 1
+                        instr_to_verif += seq - thread[6]
+                    spec_count -= len(tl)
+                    del threads[stack[idx][0]]
+                    if squash_c:
+                        cost = squash_c * len(tl)
+                        now += cost
+                        overhead += cost
+                break
+        i += 1
+
+    if total_instructions > pos:
+        now += total_instructions - pos
+    result.total_cycles = now
+    result.overhead_cycles = overhead
+    result.speculation_events = speculation_events
+    result.threads_spawned = threads_spawned
+    result.promoted = promoted
+    result.squashed_misspec = squashed_misspec
+    result.squashed_policy = squashed_policy
+    result.credit_executing = credit_executing
+    result.credit_waiting = credit_waiting if count_waiting \
+        else credit_executing
+    result.instr_to_verif_total = instr_to_verif
+    result.resolved = resolved
+    result.unresolved_at_end = spec_count
+    return result
+
+
+def simulate_grid(index, configs, name="workload", count_waiting=True):
+    """Price every ``(num_tus, policy, timing)`` in *configs* over
+    *index*; returns one :class:`SpeculationResult` per config, in
+    config order, bit-identical to independent :func:`simulate` calls.
+
+    *configs* is a sequence of ``(num_tus, policy, timing)`` tuples --
+    the policy a spec string or :class:`~repro.core.speculation.
+    policies.Policy`, the timing a spec string, model instance, or
+    ``None`` (ideal).  Configurations the fused walk cannot prove
+    equivalent for (see the module docstring's ground rule) drop to
+    the per-config engine; ``num_tus=None`` oracle studies are
+    delegated the same way.
+    """
+    from repro.core.speculation.engine import simulate
+
+    configs = list(configs)
+    results = [None] * len(configs)
+    with obs.span("engine.simulate_grid", workload=name,
+                  configs=len(configs)):
+        fused = []
+        fallback = []
+        for slot, (num_tus, policy, timing) in enumerate(configs):
+            policy = make_policy(policy)
+            model = make_timing(timing)
+            if _fusable(num_tus, policy, model) \
+                    and getattr(index, "columns", None) is not None:
+                fused.append((slot, num_tus, policy, model))
+            else:
+                fallback.append((slot, num_tus, policy, model))
+        if fused:
+            tables = grid_tables(index)
+            for slot, num_tus, policy, model in fused:
+                results[slot] = _run_fused(index, tables, num_tus,
+                                           policy, model, name,
+                                           count_waiting)
+        for slot, num_tus, policy, model in fallback:
+            results[slot] = simulate(index, num_tus=num_tus,
+                                     policy=policy, name=name,
+                                     timing=model,
+                                     count_waiting=count_waiting)
+    if fused:
+        obs.add("engine.fused_cells", len(fused))
+    if fallback:
+        obs.add("engine.fallback_cells", len(fallback))
+    return results

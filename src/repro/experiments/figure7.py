@@ -6,31 +6,46 @@ STR(i) favours inner loops, which matters once data dependences are
 considered -- the paper recommends STR(3)).
 """
 
-from repro.analysis import Analysis, register_analysis, shared_simulate
+from repro.analysis import Analysis, register_analysis, \
+    shared_simulate, shared_simulate_many
 from repro.experiments.report import ExperimentResult, TimingMeta
 
 TU_COUNTS = (2, 4, 8, 16)
 POLICIES = ("idle", "str", "str(1)", "str(2)", "str(3)")
 
 
-@register_analysis("figure7")
-class Figure7Analysis(Analysis):
+class Figure7Tables:
+    """Accumulates per-workload policy x TU grids into the figure-7
+    averages table.
+
+    One fold per workload (:meth:`add_workload`), then
+    :meth:`results`.  The direct :class:`Figure7Analysis` and the sweep
+    store's query layer (:mod:`repro.sweep.query`) both render through
+    this builder, which is what keeps a ``runner query`` report
+    byte-identical to the direct ``runner figure7`` output.
+    """
+
     def __init__(self, policies=POLICIES, tu_counts=TU_COUNTS):
-        self.policies = policies
-        self.tu_counts = tu_counts
+        self.policies = tuple(policies)
+        self.tu_counts = tuple(tu_counts)
         self._totals = {(policy, tus): 0.0
-                        for policy in policies for tus in tu_counts}
+                        for policy in self.policies
+                        for tus in self.tu_counts}
         self._count = 0
         self._timing = TimingMeta()
 
-    def finish(self, ctx):
+    def add_workload(self, name, results):
+        """Fold one workload; ``results(policy, tus)`` returns that
+        configuration's :class:`~repro.core.speculation.metrics.
+        SpeculationResult`."""
         for policy in self.policies:
             for tus in self.tu_counts:
                 self._totals[(policy, tus)] += self._timing.fold(
-                    shared_simulate(ctx, tus, policy)).tpc
+                    results(policy, tus)).tpc
         self._count += 1
 
-    def result(self):
+    def results(self):
+        """The :class:`ExperimentResult` averages table."""
         averages = {key: total / self._count
                     for key, total in self._totals.items()}
         rows = []
@@ -47,6 +62,27 @@ class Figure7Analysis(Analysis):
             extra={"averages": averages},
             meta=self._timing.as_meta(),
         )
+
+
+@register_analysis("figure7")
+class Figure7Analysis(Analysis):
+    def __init__(self, policies=POLICIES, tu_counts=TU_COUNTS):
+        self._tables = Figure7Tables(policies, tu_counts)
+        self.policies = self._tables.policies
+        self.tu_counts = self._tables.tu_counts
+
+    def finish(self, ctx):
+        # Whole policy x TU grid in one fused call; lookups below hit
+        # the warm memo.
+        shared_simulate_many(ctx, [(tus, policy, None)
+                                   for policy in self.policies
+                                   for tus in self.tu_counts])
+        self._tables.add_workload(
+            ctx.name,
+            lambda policy, tus: shared_simulate(ctx, tus, policy))
+
+    def result(self):
+        return self._tables.results()
 
 
 def run(runner):

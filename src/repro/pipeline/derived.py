@@ -85,6 +85,21 @@ class DerivedStore:
             entries[key] = value
             self._dirty = True
 
+    def put_cells(self, cells):
+        """Record a batch of ``(key, value)`` pairs in one pass.
+
+        The grid-aware write path: a fused ``simulate_grid`` call lands
+        all its per-config results at once, but each lands under its
+        own individual cell key -- the same key :meth:`put` would use
+        -- so sweeps, direct runs, and grid runs keep sharing rows in
+        both directions.
+        """
+        entries = self._load()
+        for key, value in cells:
+            if entries.get(key) != value:
+                entries[key] = value
+                self._dirty = True
+
     def flush(self):
         """Atomically persist any new entries; best-effort (a read-only
         cache directory silently disables persistence)."""

@@ -159,25 +159,44 @@ def _decode_detail(detail):
     return payload if isinstance(payload, dict) else {}
 
 
-def evaluate_candidate(profile, gen_seed, settings, store=None,
-                       cache_dir=None):
-    """Evaluate ``(profile, gen_seed)`` at *settings*; returns an
-    :class:`EvalOutcome`.
+class CandidatePlan:
+    """The parent-side half of one evaluation: the candidate's cell
+    list, the facts the store already held, and the cells still to
+    compute.
 
-    With a *store*, already-done cells are restored instead of
-    recomputed and fresh results are checkpointed back (one committed
-    transaction) before this returns -- interrupting a search after
-    any candidate loses nothing.  Without one, every cell computes
-    fresh (the golden frontier tests run this way).
+    :func:`plan_candidate` builds it, a worker (or the caller inline)
+    computes ``missing`` through :func:`~repro.sweep.orchestrator.
+    run_workload_cells`, and :func:`finish_candidate` merges the rows
+    back, commits them, and assembles the :class:`EvalOutcome` --
+    splitting the store I/O (parent only) from the simulation work
+    (poolable) so ``runner search --jobs N`` can evaluate speculated
+    candidates concurrently.
     """
-    from repro.sweep.orchestrator import _base_row, run_workload_cells
-    from repro.workloads.synthetic import ensure_profile_workload
 
-    name = ensure_profile_workload(profile, gen_seed)
+    __slots__ = ("name", "settings", "cells", "keys", "facts",
+                 "missing", "restored")
+
+    def __init__(self, name, settings, cells, facts, missing,
+                 restored):
+        self.name = name
+        self.settings = settings
+        self.cells = cells
+        self.keys = [cell.key for cell in cells]
+        self.facts = facts
+        self.missing = missing
+        self.restored = restored
+
+    def descriptors(self):
+        """The picklable per-cell work list of ``missing``."""
+        return [(c.key, c.kind, c.timing, c.policy, c.tus)
+                for c in self.missing]
+
+
+def plan_candidate(name, settings, store=None):
+    """Expand candidate *name* into cells and restore what *store*
+    already holds; returns a :class:`CandidatePlan`."""
     cells = candidate_cells(name, settings)
-    by_key = {cell.key: cell for cell in cells}
     keys = [cell.key for cell in cells]
-
     done = store.done_keys(keys) if store is not None else set()
     facts = {}
     if done:
@@ -185,14 +204,44 @@ def evaluate_candidate(profile, gen_seed, settings, store=None,
             facts[row.cell_key] = _row_facts(
                 row.status, row.tpc, row.speedup, row.hit_ratio,
                 row.overhead_cycles, row.detail, row.error)
-
     missing = [cell for cell in cells if cell.key not in done]
-    if missing:
-        descriptors = [(c.key, c.kind, c.timing, c.policy, c.tus)
-                       for c in missing]
-        _, rows = run_workload_cells(
-            name, settings.scale, settings.max_instructions,
-            settings.cls_capacity, cache_dir, descriptors)
+    return CandidatePlan(name, settings, cells, facts, missing,
+                         len(done))
+
+
+def run_candidate_cells(profile_payload, gen_seed, scale,
+                        max_instructions, cls_capacity, cache_dir,
+                        descriptors):
+    """Compute one candidate's missing cells; the pool-worker entry
+    point of ``runner search --jobs N``.
+
+    Module-level and by-value: *profile_payload* is
+    :meth:`~repro.workloads.synthetic.WorkloadProfile.to_dict` output,
+    so a fresh worker process -- whose registry has never seen the
+    candidate -- can register it itself and resolve the synthetic name
+    exactly like the parent did.
+    """
+    from repro.sweep.orchestrator import run_workload_cells
+    from repro.workloads.synthetic import WorkloadProfile, \
+        ensure_profile_workload
+
+    profile = WorkloadProfile.from_dict(profile_payload)
+    name = ensure_profile_workload(profile, gen_seed)
+    return run_workload_cells(name, scale, max_instructions,
+                              cls_capacity, cache_dir, descriptors)
+
+
+def finish_candidate(plan, rows, store=None):
+    """Merge the computed *rows* of ``plan.missing`` into the plan's
+    facts, commit them, and price the metrics bundle; returns the
+    :class:`EvalOutcome`."""
+    from repro.sweep.orchestrator import _base_row
+
+    name = plan.name
+    settings = plan.settings
+    facts = plan.facts
+    by_key = {cell.key: cell for cell in plan.cells}
+    if rows:
         stored = []
         for partial in rows:
             base = _base_row(by_key[partial["cell_key"]])
@@ -205,18 +254,20 @@ def evaluate_candidate(profile, gen_seed, settings, store=None,
         if store is not None:
             store.put_cells(stored)
 
-    failed = [key for key in keys
+    failed = [key for key in plan.keys
               if facts.get(key, {}).get("status") != "done"]
     if failed:
         first = facts.get(failed[0], {})
-        return EvalOutcome(name, None, len(missing), len(done),
-                           first.get("error") or "cell missing", keys)
+        return EvalOutcome(name, None, len(plan.missing),
+                           plan.restored,
+                           first.get("error") or "cell missing",
+                           plan.keys)
 
     overhead_timing, _, _ = canonical_timing(settings.timing)
     coverage = None
     total_instructions = None
     sims = {}
-    for cell in cells:
+    for cell in plan.cells:
         fact = facts[cell.key]
         if cell.kind == KIND_LOOPSTATS:
             detail = _decode_detail(fact["detail"])
@@ -233,9 +284,34 @@ def evaluate_candidate(profile, gen_seed, settings, store=None,
             if cell.timing == overhead_timing:
                 sims[(cell.policy, LEG_OVERHEAD)] = value
     if coverage is None:
-        return EvalOutcome(name, None, len(missing), len(done),
-                           "loopstats cell has no coverage", keys)
+        return EvalOutcome(name, None, len(plan.missing),
+                           plan.restored,
+                           "loopstats cell has no coverage", plan.keys)
     metrics = CandidateMetrics(name, coverage, total_instructions,
                                sims)
-    return EvalOutcome(name, metrics, len(missing), len(done), None,
-                       keys)
+    return EvalOutcome(name, metrics, len(plan.missing),
+                       plan.restored, None, plan.keys)
+
+
+def evaluate_candidate(profile, gen_seed, settings, store=None,
+                       cache_dir=None):
+    """Evaluate ``(profile, gen_seed)`` at *settings*; returns an
+    :class:`EvalOutcome`.
+
+    With a *store*, already-done cells are restored instead of
+    recomputed and fresh results are checkpointed back (one committed
+    transaction) before this returns -- interrupting a search after
+    any candidate loses nothing.  Without one, every cell computes
+    fresh (the golden frontier tests run this way).
+    """
+    from repro.sweep.orchestrator import run_workload_cells
+    from repro.workloads.synthetic import ensure_profile_workload
+
+    name = ensure_profile_workload(profile, gen_seed)
+    plan = plan_candidate(name, settings, store)
+    rows = []
+    if plan.missing:
+        _, rows = run_workload_cells(
+            name, settings.scale, settings.max_instructions,
+            settings.cls_capacity, cache_dir, plan.descriptors())
+    return finish_candidate(plan, rows, store)

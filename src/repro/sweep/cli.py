@@ -54,8 +54,8 @@ def _parse_ints(option, spec, parser):
 def _resolve_workloads(args, experiment, parser):
     """The spec's workload tuple, mirroring the runner's rules:
     ``--workloads`` wins, ``--profile`` (or characterize's default)
-    selects a generated synthetic sweep, sensitivity defaults to the
-    full analog suite."""
+    selects a generated synthetic sweep, every other experiment
+    defaults to the full analog suite."""
     from repro.workloads import SUITE_ORDER, get as get_workload
     from repro.workloads.synthetic import sweep_names
 
@@ -91,12 +91,11 @@ def _resolve_workloads(args, experiment, parser):
 
 
 def _build_spec(args, parser):
-    from repro.experiments import characterize, sensitivity
+    from repro.experiments import characterize, figure7, sensitivity
 
     experiment = args.experiment
     sens_flags = [name for name, value in
                   (("--spawn-cost", args.spawn_cost),
-                   ("--tus", args.tus),
                    ("--squash-cost", args.squash_cost),
                    ("--promote-cost", args.promote_cost))
                   if value is not None]
@@ -104,8 +103,18 @@ def _build_spec(args, parser):
         parser.error("%s appl%s to sensitivity sweeps only"
                      % (", ".join(sens_flags),
                         "ies" if len(sens_flags) == 1 else "y"))
-    if experiment != "characterize" and args.num_tus is not None:
-        parser.error("--num-tus applies to characterize sweeps only")
+    if experiment not in ("sensitivity", "figure6", "figure7") \
+            and args.tus is not None:
+        parser.error("--tus applies to sensitivity/figure6/figure7 "
+                     "sweeps only")
+    if experiment not in ("characterize", "table2") \
+            and args.num_tus is not None:
+        parser.error("--num-tus applies to characterize/table2 sweeps "
+                     "only")
+    if experiment in ("figure6", "table2") \
+            and args.policies is not None:
+        parser.error("%s runs a fixed policy; drop --policies"
+                     % experiment)
 
     kwargs = {
         "experiment": experiment,
@@ -119,7 +128,11 @@ def _build_spec(args, parser):
                                           parser)
     elif experiment == "characterize":
         kwargs["policies"] = characterize.POLICIES
+    elif experiment == "figure7":
+        kwargs["policies"] = figure7.POLICIES
     else:
+        # figure6/table2 ignore the policies axis (fixed policy);
+        # the sensitivity default keeps their spec digests stable.
         kwargs["policies"] = sensitivity.POLICIES
     if experiment == "sensitivity":
         if args.spawn_cost is not None:
@@ -131,6 +144,9 @@ def _build_spec(args, parser):
             kwargs["squash_cost"] = args.squash_cost
         if args.promote_cost is not None:
             kwargs["promote_cost"] = args.promote_cost
+    elif experiment in ("figure6", "figure7"):
+        if args.tus is not None:
+            kwargs["tu_counts"] = _parse_ints("--tus", args.tus, parser)
     elif args.num_tus is not None:
         kwargs["num_tus"] = args.num_tus
     try:
@@ -171,10 +187,17 @@ def sweep_main(argv=None):
                         metavar="N")
     parser.add_argument("--num-tus", type=int, default=None,
                         metavar="N",
-                        help="characterize sweeps: TUs per policy "
-                             "run (default 4)")
+                        help="characterize/table2 sweeps: TUs per "
+                             "policy run (default 4)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1)")
+    parser.add_argument("--checkpoint", choices=("group", "cell"),
+                        default="group",
+                        help="store commit granularity: one "
+                             "transaction per workload group "
+                             "(default) or per cell; with --jobs 1, "
+                             "cell granularity also commits each cell "
+                             "the moment it is computed")
     parser.add_argument("--cache-dir", default=default_cache_dir())
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the trace/derived caches (cells "
@@ -230,7 +253,8 @@ def sweep_main(argv=None):
 
             stats = run_sweep(spec, store, jobs=args.jobs,
                               cache_dir=cache_dir, progress=progress,
-                              dry_run=args.dry_run)
+                              dry_run=args.dry_run,
+                              checkpoint=args.checkpoint)
     except SweepStoreError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1

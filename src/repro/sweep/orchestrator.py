@@ -69,18 +69,26 @@ def _base_row(cell):
 
 
 def run_workload_cells(name, scale, max_instructions, cls_capacity,
-                       cache_dir, descriptors):
+                       cache_dir, descriptors, on_row=None):
     """Execute every cell of one workload; returns result row dicts.
 
     Module-level so the process pool can pickle it.  Builds the loop
     index once (trace cache and derived store apply when *cache_dir*
-    is set), then prices each simulation cell against it.  A cell
-    that raises becomes a ``failed`` row; an index build that raises
-    fails every cell of the workload (the caller records that).
+    is set), then prices the workload's whole simulation config group
+    against it in one fused :func:`~repro.core.speculation.grid.
+    simulate_grid` call (the per-cell engine remains as the fallback,
+    both for configs the grid cannot fuse and for a grid call that
+    fails wholesale).  A cell that raises becomes a ``failed`` row; an
+    index build that raises fails every cell of the workload (the
+    caller records that).
+
+    *on_row*, when given, is called with each finished row dict as it
+    completes -- the per-cell checkpointing seam (only useful inline;
+    a pool worker has nobody to stream to).
     """
     from repro.core.loopstats import compute_loop_statistics, \
         loop_coverage
-    from repro.core.speculation import simulate
+    from repro.core.speculation import simulate, simulate_grid
     from repro.pipeline import PipelineConfig, SimulationSession
     from repro.pipeline.derived import DerivedCache
     from repro.sweep.spec import sim_cell_suffix
@@ -99,6 +107,45 @@ def run_workload_cells(name, scale, max_instructions, cls_capacity,
             name, scale, session.config.limit_for(workload),
             session._fingerprint(name)))
 
+    # Pre-price the simulation cells through one fused grid call:
+    # restore per cell from the derived store, batch the misses.  Any
+    # cell this pass cannot place (bad timing spec, a grid call that
+    # raises) simply stays out of sim_results and the per-cell loop
+    # below recomputes it -- attributing errors cell by cell exactly
+    # as before.
+    sim_results = {}
+    sim_pending = []
+    for key, kind, timing, policy, tus in descriptors:
+        if kind != KIND_SIM:
+            continue
+        try:
+            model = None if timing == "ideal" else make_timing(timing)
+            dkey = sim_cell_suffix(
+                tus, policy, None if model is None else model.key(),
+                cls_capacity)
+            result = _restore_sim(derived, dkey)
+        except Exception:
+            continue
+        if result is not None:
+            sim_results[key] = result
+        else:
+            sim_pending.append((key, dkey, (tus, policy, model)))
+    if sim_pending:
+        try:
+            computed = simulate_grid(
+                index, [config for _, _, config in sim_pending],
+                name=name)
+        except Exception:
+            pass
+        else:
+            if derived is not None:
+                derived.put_cells(
+                    (dkey, result.state())
+                    for (_, dkey, _), result in zip(sim_pending,
+                                                    computed))
+            for (key, _, _), result in zip(sim_pending, computed):
+                sim_results[key] = result
+
     rows = []
     for key, kind, timing, policy, tus in descriptors:
         row = {"cell_key": key, "status": "done", "error": None,
@@ -106,18 +153,21 @@ def run_workload_cells(name, scale, max_instructions, cls_capacity,
                "overhead_cycles": None, "detail": None}
         try:
             if kind == KIND_SIM:
-                model = None if timing == "ideal" else \
-                    make_timing(timing)
-                dkey = sim_cell_suffix(
-                    tus, policy,
-                    None if model is None else model.key(),
-                    cls_capacity)
-                result = _restore_sim(derived, dkey)
+                result = sim_results.get(key)
                 if result is None:
-                    result = simulate(index, num_tus=tus, policy=policy,
-                                      name=name, timing=model)
-                    if derived is not None:
-                        derived.put(dkey, result.state())
+                    model = None if timing == "ideal" else \
+                        make_timing(timing)
+                    dkey = sim_cell_suffix(
+                        tus, policy,
+                        None if model is None else model.key(),
+                        cls_capacity)
+                    result = _restore_sim(derived, dkey)
+                    if result is None:
+                        result = simulate(index, num_tus=tus,
+                                          policy=policy, name=name,
+                                          timing=model)
+                        if derived is not None:
+                            derived.put(dkey, result.state())
                 row.update(
                     tpc=result.tpc, hit_ratio=result.hit_ratio,
                     speedup=result.speedup_bound,
@@ -135,6 +185,8 @@ def run_workload_cells(name, scale, max_instructions, cls_capacity,
             row["status"] = "failed"
             row["error"] = "%s: %s" % (type(exc).__name__, exc)
         rows.append(row)
+        if on_row is not None:
+            on_row(row)
     if derived is not None:
         derived.flush()
     return name, rows
@@ -155,7 +207,7 @@ def _restore_sim(derived, dkey):
 
 
 def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
-              dry_run=False):
+              dry_run=False, checkpoint="group"):
     """Execute *spec* into *store*; returns :class:`SweepRunStats`.
 
     *progress*, when given, is called as ``progress(workload,
@@ -164,14 +216,27 @@ def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
     progress line.  *dry_run* plans and registers the sweep but
     executes nothing.
 
+    *checkpoint* picks the commit granularity: ``"group"`` (default)
+    commits one transaction per workload group, ``"cell"`` one per
+    cell.  Cell granularity matters for very long workloads: inline
+    (``jobs <= 1``) each cell commits the moment it is computed, so an
+    interrupt mid-workload loses at most the cell in flight; pooled
+    workers still return whole groups (results cross the process
+    boundary per future), so there it only narrows the commit
+    transactions.  Either way the stored rows are identical --
+    resume exactness does not depend on the granularity.
+
     With an obs collector active the whole run is a ``sweep`` span,
     each store commit a ``sweep.checkpoint`` child span, and the run's
     plan/skip/execute/fail/checkpoint tallies land in the
     ``sweep.cells_*`` / ``sweep.checkpoints`` counters.
     """
+    if checkpoint not in ("group", "cell"):
+        raise ValueError("checkpoint must be 'group' or 'cell', got %r"
+                         % (checkpoint,))
     with obs.span("sweep", experiment=spec.experiment, jobs=jobs):
         stats = _run_sweep(spec, store, jobs, cache_dir, progress,
-                           dry_run)
+                           dry_run, checkpoint)
     collector = obs.active()
     if collector is not None:
         collector.add("sweep.cells_planned", stats.planned)
@@ -182,7 +247,8 @@ def run_sweep(spec, store, jobs=1, cache_dir=None, progress=None,
     return stats
 
 
-def _run_sweep(spec, store, jobs, cache_dir, progress, dry_run):
+def _run_sweep(spec, store, jobs, cache_dir, progress, dry_run,
+               checkpoint="group"):
     cells = expand_cells(spec)
     sweep_id = store.record_sweep(spec, [c.key for c in cells])
     done = store.done_keys([c.key for c in cells])
@@ -202,6 +268,20 @@ def _run_sweep(spec, store, jobs, cache_dir, progress, dry_run):
         groups[cell.workload].append(cell)
     by_cell = {c.key: c for c in missing}
 
+    def commit(name, rows):
+        if checkpoint == "cell":
+            # One transaction per cell; same rows, narrower commits.
+            batches = [[row] for row in rows]
+        else:
+            batches = [rows]
+        for batch in batches:
+            with obs.span("sweep.checkpoint", workload=name,
+                          rows=len(batch)):
+                store.put_cells(batch)
+            stats.checkpoints += 1
+        if progress is not None:
+            progress(name, stats.executed + stats.failed, len(missing))
+
     def absorb(name, result_rows):
         rows = []
         for partial in result_rows:
@@ -212,46 +292,56 @@ def _run_sweep(spec, store, jobs, cache_dir, progress, dry_run):
                 stats.failed += 1
             else:
                 stats.executed += 1
-        with obs.span("sweep.checkpoint", workload=name,
-                      rows=len(rows)):
-            store.put_cells(rows)
-        stats.checkpoints += 1
-        if progress is not None:
-            progress(name, stats.executed + stats.failed, len(missing))
+        commit(name, rows)
 
     def task_args(name):
         return (name, spec.scale, spec.max_instructions,
                 spec.cls_capacity, cache_dir,
                 [_cell_descriptor(c) for c in groups[name]])
 
-    def fail_group(name, exc):
+    def fail_group(name, exc, skip_keys=()):
         rows = []
         for cell in groups[name]:
+            if cell.key in skip_keys:
+                continue
             row = _base_row(cell)
             row.update(status="failed", tpc=None, hit_ratio=None,
                        speedup=None, overhead_cycles=None, detail=None,
                        error="%s: %s" % (type(exc).__name__, exc))
             rows.append(row)
             stats.failed += 1
-        with obs.span("sweep.checkpoint", workload=name,
-                      rows=len(rows)):
-            store.put_cells(rows)
-        stats.checkpoints += 1
-        if progress is not None:
-            progress(name, stats.executed + stats.failed, len(missing))
+        commit(name, rows)
 
     if jobs <= 1 or len(order) <= 1:
         for name in order:
+            committed = set()
+            on_row = None
+            if checkpoint == "cell":
+                # Stream: each finished cell commits immediately, so
+                # an interrupt mid-workload loses at most the cell in
+                # flight.
+                def on_row(partial, name=name, committed=committed):
+                    row = _base_row(by_cell[partial["cell_key"]])
+                    row.update(partial)
+                    if partial["status"] == "failed":
+                        stats.failed += 1
+                    else:
+                        stats.executed += 1
+                    committed.add(partial["cell_key"])
+                    commit(name, [row])
             try:
-                _, rows = run_workload_cells(*task_args(name))
+                _, rows = run_workload_cells(*task_args(name),
+                                             on_row=on_row)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
                 # Index build (or another per-workload stage) died:
-                # record every cell of the group as failed.
-                fail_group(name, exc)
+                # record every not-yet-committed cell of the group as
+                # failed.
+                fail_group(name, exc, skip_keys=committed)
             else:
-                absorb(name, rows)
+                if on_row is None:
+                    absorb(name, rows)
         return stats
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(order))) as pool:

@@ -13,8 +13,11 @@ ExperimentResult` tables so they render through the runner's existing
   rebuilt from the store through the same table builders the direct
   experiments render with
   (:class:`~repro.experiments.sensitivity.SensitivityTables`,
-  :class:`~repro.experiments.characterize.CharacterizeTables`), so the
-  output is byte-identical to running the experiment directly.
+  :class:`~repro.experiments.characterize.CharacterizeTables`,
+  :class:`~repro.experiments.figure6.Figure6Tables`,
+  :class:`~repro.experiments.figure7.Figure7Tables`,
+  :class:`~repro.experiments.table2.Table2Tables`), so the output is
+  byte-identical to running the experiment directly.
 
 Reports require a complete sweep: metrics of failed or missing cells
 cannot be invented, so :func:`sweep_report` raises a clean
@@ -169,6 +172,39 @@ def sweep_report(store, spec):
                     by_cell[(name, KIND_SIM, policy, tus, timing)])
             tables.add_workload(name, results)
         return tables.results()
+
+    def ideal_sim(name, policy, tus):
+        return _restore_sim(
+            by_cell[(name, KIND_SIM, policy, tus, "ideal")])
+
+    if spec.experiment == "figure6":
+        from repro.experiments.figure6 import POLICY, Figure6Tables
+
+        tables = Figure6Tables(spec.tu_counts)
+        for name in spec.workloads:
+            tables.add_workload(
+                name, lambda tus, name=name: ideal_sim(name, POLICY,
+                                                       tus))
+        return [tables.results()]
+
+    if spec.experiment == "figure7":
+        from repro.experiments.figure7 import Figure7Tables
+
+        tables = Figure7Tables(spec.policies, spec.tu_counts)
+        for name in spec.workloads:
+            tables.add_workload(
+                name, lambda policy, tus, name=name: ideal_sim(
+                    name, policy, tus))
+        return [tables.results()]
+
+    if spec.experiment == "table2":
+        from repro.experiments.table2 import POLICY, Table2Tables
+
+        tables = Table2Tables(spec.num_tus)
+        for name in spec.workloads:
+            tables.add_workload(name, ideal_sim(name, POLICY,
+                                                spec.num_tus))
+        return [tables.results()]
 
     from repro.experiments.characterize import CharacterizeTables
 

@@ -30,8 +30,14 @@ from repro.pipeline.cache import TraceCache, program_fingerprint
 from repro.pipeline.derived import derived_key
 
 #: Experiments a sweep can run (the store-backed execution path of the
-#: equally named direct experiments).
-SWEEP_EXPERIMENTS = ("sensitivity", "characterize")
+#: equally named direct experiments).  ``figure6`` sweeps the STR
+#: policy over ``tu_counts``, ``figure7`` sweeps ``policies`` x
+#: ``tu_counts``, and ``table2`` runs the paper's STR(3) configuration
+#: at ``num_tus`` -- all on the ideal machine, exactly like the direct
+#: experiments, so their cells are shared rows with any overlapping
+#: sensitivity/characterize grid.
+SWEEP_EXPERIMENTS = ("sensitivity", "characterize", "figure6",
+                     "figure7", "table2")
 
 #: Cell kinds: a speculation simulation and the per-workload loop
 #: statistics (characterize's non-simulation half).
@@ -59,8 +65,12 @@ class SweepSpec:
     ``workloads`` is a tuple of resolved workload names (synthetic
     ``synth-<profile>-<seed>`` names included); order is preserved and
     determines report row order, exactly like the direct experiments.
-    The sensitivity axes are ignored by ``characterize`` grids and vice
-    versa for ``num_tus``.
+    Each experiment reads only its own axes: ``characterize`` uses
+    ``policies``/``num_tus``, ``figure6`` uses ``tu_counts`` (its
+    policy is fixed to STR), ``figure7`` uses ``policies`` x
+    ``tu_counts``, ``table2`` uses ``num_tus`` (policy fixed to
+    STR(3)), and the spawn/squash/promote costs belong to
+    ``sensitivity`` alone; the rest are ignored.
     """
 
     experiment: str
@@ -269,17 +279,31 @@ def expand_cells(spec):
                 timing=timing, policy=policy, tus=tus,
                 spawn_cost=spawn_cost))
 
+        def add_ideal(policy, tus):
+            # figure6/figure7/table2 simulate on the paper's ideal
+            # machine only, like the direct experiments they mirror.
+            add(KIND_SIM,
+                sim_cell_suffix(tus, policy, None, spec.cls_capacity),
+                timing="ideal", policy=policy, tus=tus, spawn_cost=0)
+
         if spec.experiment == "characterize":
             add(KIND_LOOPSTATS,
                 loopstats_cell_suffix(spec.cls_capacity))
             # Characterization always simulates on the paper's ideal
             # machine (the direct experiment takes no timing flags).
             for policy in spec.policies:
-                add(KIND_SIM,
-                    sim_cell_suffix(spec.num_tus, policy, None,
-                                    spec.cls_capacity),
-                    timing="ideal", policy=policy, tus=spec.num_tus,
-                    spawn_cost=0)
+                add_ideal(policy, spec.num_tus)
+        elif spec.experiment == "figure6":
+            from repro.experiments.figure6 import POLICY
+            for tus in spec.tu_counts:
+                add_ideal(POLICY, tus)
+        elif spec.experiment == "figure7":
+            for policy in spec.policies:
+                for tus in spec.tu_counts:
+                    add_ideal(policy, tus)
+        elif spec.experiment == "table2":
+            from repro.experiments.table2 import POLICY
+            add_ideal(POLICY, spec.num_tus)
         else:
             for policy in spec.policies:
                 for tus in spec.tu_counts:

@@ -42,7 +42,7 @@ def make_store(tmp_path, name="store"):
 class TestSweepSpec:
     def test_validation(self):
         with pytest.raises(ValueError):
-            SweepSpec(experiment="figure6", workloads=("swim",))
+            SweepSpec(experiment="figure9", workloads=("swim",))
         with pytest.raises(ValueError):
             SweepSpec(experiment="sensitivity", workloads=())
         with pytest.raises(ValueError):
@@ -120,6 +120,26 @@ class TestExpandCells:
         sens_keys = {c.key for c in sens if c.spawn_cost == 0}
         char_keys = {c.key for c in char if c.kind == KIND_SIM}
         assert char_keys == sens_keys
+
+    def test_figure_and_table_grids(self):
+        # figure6 is STR over the TU axis, figure7 the full policy x
+        # TU grid, table2 one STR(3) cell -- all ideal-machine cells,
+        # so figure6's cells and table2's cell are subsets of an
+        # enclosing figure7 grid.
+        common = dict(workloads=("swim",), max_instructions=5000)
+        fig6 = expand_cells(SweepSpec(experiment="figure6", **common))
+        fig7 = expand_cells(SweepSpec(
+            experiment="figure7", **common,
+            policies=("idle", "str", "str(1)", "str(2)", "str(3)")))
+        tab2 = expand_cells(SweepSpec(experiment="table2", **common))
+        assert len(fig6) == 4 and all(
+            c.policy == "str" and c.timing == "ideal" for c in fig6)
+        assert len(fig7) == 20
+        assert len(tab2) == 1 and tab2[0].policy == "str(3)" \
+            and tab2[0].tus == 4
+        fig7_keys = {c.key for c in fig7}
+        assert {c.key for c in fig6} <= fig7_keys
+        assert tab2[0].key in fig7_keys
 
 
 class TestSweepStore:
@@ -272,12 +292,14 @@ class TestOrchestrator:
         import repro.core.speculation as speculation
 
         real = speculation.simulate
+        real_grid = speculation.simulate_grid
 
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
 
         with make_store(tmp_path) as store:
             monkeypatch.setattr(speculation, "simulate", boom)
+            monkeypatch.setattr(speculation, "simulate_grid", boom)
             stats = run_sweep(spec, store)      # no cache: must simulate
             assert stats.failed == 12 and stats.executed == 0
             failed = store.get_cells(status="failed")
@@ -286,9 +308,52 @@ class TestOrchestrator:
             with pytest.raises(ValueError, match="incomplete"):
                 sweep_report(store, spec)
             monkeypatch.setattr(speculation, "simulate", real)
+            monkeypatch.setattr(speculation, "simulate_grid", real_grid)
             retried = run_sweep(spec, store, cache_dir=cache_dir)
             assert retried.executed == 12 and retried.failed == 0
             assert store.get_cells(status="failed") == []
+
+    def test_checkpoint_value_is_validated(self, tmp_path):
+        spec = SweepSpec(**GRID)
+        with make_store(tmp_path) as store:
+            with pytest.raises(ValueError, match="checkpoint"):
+                run_sweep(spec, store, checkpoint="bogus")
+
+    def test_cell_checkpoint_stores_identical_rows(self, tmp_path,
+                                                   cache_dir):
+        spec = SweepSpec(**GRID)
+        with make_store(tmp_path, "group") as store:
+            group = run_sweep(spec, store, cache_dir=cache_dir)
+            baseline = [r.render() for r in sweep_report(store, spec)]
+        with make_store(tmp_path, "cell") as store:
+            cell = run_sweep(spec, store, cache_dir=cache_dir,
+                             checkpoint="cell")
+            report = [r.render() for r in sweep_report(store, spec)]
+        assert cell.executed == group.executed == 24
+        # One commit per cell instead of one per workload group.
+        assert (group.checkpoints, cell.checkpoints) == (2, 24)
+        assert report == baseline
+
+    def test_cell_checkpoint_interrupt_loses_at_most_one_cell(
+            self, tmp_path, cache_dir):
+        """Interrupt mid-workload under per-cell checkpointing: every
+        already-committed cell survives and the resume executes
+        exactly the rest."""
+        spec = SweepSpec(**GRID)
+
+        def interrupt(_name, finished, _total):
+            if finished == 3:
+                raise KeyboardInterrupt
+
+        with make_store(tmp_path) as store:
+            with pytest.raises(KeyboardInterrupt):
+                run_sweep(spec, store, cache_dir=cache_dir,
+                          checkpoint="cell", progress=interrupt)
+            _, done, _ = store.counts()
+            assert done == 3
+            resumed = run_sweep(spec, store, cache_dir=cache_dir,
+                                checkpoint="cell")
+            assert (resumed.skipped, resumed.executed) == (3, 21)
 
     def test_pool_path_matches_inline(self, tmp_path, cache_dir):
         spec = SweepSpec(**GRID)
@@ -340,6 +405,15 @@ class TestByteIdentity:
         query = self._query(tmp_path, cache_dir,
                             str(tmp_path / "store"), "characterize",
                             args)
+        assert query == direct
+
+    @pytest.mark.parametrize("experiment",
+                             ("figure6", "figure7", "table2"))
+    def test_figures_and_table2(self, tmp_path, cache_dir, experiment):
+        args = ["--workloads", "swim,go", "--max-instructions", "5000"]
+        direct = self._direct(tmp_path, cache_dir, experiment, args)
+        query = self._query(tmp_path, cache_dir,
+                            str(tmp_path / "store"), experiment, args)
         assert query == direct
 
 
